@@ -1,0 +1,112 @@
+// Ablation A1 — the raw context-switch primitive.
+//
+// Quantifies why the paper's design keeps thread operations in user space: the
+// assembly user-mode switch vs ucontext (enters the kernel for the signal mask)
+// vs setjmp/longjmp vs a full kernel-thread round trip.
+
+#include <benchmark/benchmark.h>
+#include <setjmp.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/arch/context.h"
+#include "src/arch/stack.h"
+#include "src/util/futex.h"
+
+namespace {
+
+// ---- sunmt asm/default backend ping-pong -------------------------------------
+sunmt::Context g_bench_main;
+sunmt::Context g_bench_peer;
+
+void PeerEntry(void*) {
+  for (;;) {
+    g_bench_peer.SwitchTo(g_bench_main, nullptr);
+  }
+}
+
+void BM_SunmtContextSwitch(benchmark::State& state) {
+  sunmt::Stack stack = sunmt::Stack::AllocateOwned(64 * 1024);
+  g_bench_peer.Make(stack.base(), stack.size(), &PeerEntry);
+  for (auto _ : state) {
+    // One call = two switches (there and back).
+    g_bench_main.SwitchTo(g_bench_peer, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SunmtContextSwitch);
+
+// ---- ucontext swapcontext ping-pong ------------------------------------------
+ucontext_t g_uc_main, g_uc_peer;
+
+void UcPeer() {
+  for (;;) {
+    swapcontext(&g_uc_peer, &g_uc_main);
+  }
+}
+
+void BM_UcontextSwitch(benchmark::State& state) {
+  static char stack[64 * 1024];
+  getcontext(&g_uc_peer);
+  g_uc_peer.uc_stack.ss_sp = stack;
+  g_uc_peer.uc_stack.ss_size = sizeof(stack);
+  g_uc_peer.uc_link = nullptr;
+  makecontext(&g_uc_peer, &UcPeer, 0);
+  for (auto _ : state) {
+    swapcontext(&g_uc_main, &g_uc_peer);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_UcontextSwitch);
+
+// ---- setjmp/longjmp to self (the paper's Figure 6 baseline) --------------------
+void BM_SetjmpLongjmp(benchmark::State& state) {
+  jmp_buf env;
+  for (auto _ : state) {
+    if (setjmp(env) == 0) {
+      longjmp(env, 1);
+    }
+  }
+}
+BENCHMARK(BM_SetjmpLongjmp);
+
+// ---- kernel-thread round trip (futex ping-pong between two std::threads) ------
+void BM_KernelThreadRoundTrip(benchmark::State& state) {
+  std::atomic<uint32_t> ping{0}, pong{0};
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    uint32_t expect = 1;
+    for (;;) {
+      while (ping.load(std::memory_order_acquire) < expect) {
+        if (stop.load(std::memory_order_relaxed)) {
+          return;
+        }
+        sunmt::FutexWait(&ping, expect - 1);
+      }
+      pong.store(expect, std::memory_order_release);
+      sunmt::FutexWake(&pong, 1);
+      ++expect;
+    }
+  });
+  uint32_t round = 0;
+  for (auto _ : state) {
+    ++round;
+    ping.store(round, std::memory_order_release);
+    sunmt::FutexWake(&ping, 1);
+    while (pong.load(std::memory_order_acquire) < round) {
+      sunmt::FutexWait(&pong, round - 1);
+    }
+  }
+  stop.store(true);
+  ping.store(round + 1, std::memory_order_release);
+  sunmt::FutexWake(&ping, 1);
+  peer.join();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_KernelThreadRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

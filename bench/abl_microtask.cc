@@ -1,0 +1,71 @@
+// Ablation A8 — micro-tasking on raw LWPs: ParallelFor dispatch overhead and
+// grain sensitivity, plus the gang barrier's phase cost.
+//
+// This is the paper's "micro-tasking Fortran run-time relies on kernel-supported
+// threads scheduled on processors as a group" path: how cheap can a parallel
+// loop be when the language library talks to LWPs directly?
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/microtask/barrier.h"
+#include "src/microtask/microtask.h"
+
+namespace {
+
+// Latency of an empty ParallelFor: pure dispatch + completion signalling.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  sunmt::MicrotaskPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    pool.ParallelFor(0, 1, 1, [](int64_t, void*) {}, nullptr);
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+// Throughput of a saxpy-style loop at different grains.
+void BM_ParallelForGrain(benchmark::State& state) {
+  sunmt::MicrotaskPool pool(2);
+  constexpr int64_t kN = 1 << 16;
+  static std::vector<double> x(kN, 1.0), y(kN, 2.0);
+  struct Ctx {
+    double a;
+  } ctx{3.0};
+  const int64_t grain = state.range(0);
+  for (auto _ : state) {
+    pool.ParallelFor(
+        0, kN, grain,
+        [](int64_t i, void* cookie) {
+          y[i] += static_cast<Ctx*>(cookie)->a * x[i];
+        },
+        &ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_ParallelForGrain)->Arg(16)->Arg(256)->Arg(4096)->Arg(0)->UseRealTime();
+
+// Gang barrier phases: two parties arriving a fixed number of times, so the
+// benchmark measures the steady-state per-phase cost.
+void BM_GangBarrierPhase(benchmark::State& state) {
+  constexpr int kPhases = 10000;
+  for (auto _ : state) {
+    sunmt::GangBarrier barrier(2);
+    std::thread helper([&] {
+      for (int i = 0; i < kPhases; ++i) {
+        barrier.Arrive();
+      }
+    });
+    for (int i = 0; i < kPhases; ++i) {
+      barrier.Arrive();
+    }
+    helper.join();
+  }
+  state.SetItemsProcessed(state.iterations() * kPhases);
+}
+BENCHMARK(BM_GangBarrierPhase)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

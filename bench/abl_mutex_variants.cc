@@ -1,0 +1,80 @@
+// Ablation A2 — mutex variants under contention.
+//
+// Compares the adaptive (default), spin, debug-checking and process-shared
+// mutex variants, uncontended and with 2-8 contending kernel threads. Each
+// google-benchmark worker thread is adopted into the package on first use, so
+// the contended paths exercise the real block/wake machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "src/sync/sync.h"
+
+namespace {
+
+sunmt::mutex_t g_mu_default;
+sunmt::mutex_t g_mu_spin;
+sunmt::mutex_t g_mu_debug;
+sunmt::mutex_t g_mu_shared;
+int64_t g_protected_counter;
+
+void InitAll() {
+  sunmt::mutex_init(&g_mu_default, 0, nullptr);
+  sunmt::mutex_init(&g_mu_spin, sunmt::SYNC_SPIN, nullptr);
+  sunmt::mutex_init(&g_mu_debug, sunmt::SYNC_DEBUG, nullptr);
+  sunmt::mutex_init(&g_mu_shared, sunmt::THREAD_SYNC_SHARED, nullptr);
+}
+
+void ContendOn(sunmt::mutex_t* mu, benchmark::State& state) {
+  for (auto _ : state) {
+    sunmt::mutex_enter(mu);
+    ++g_protected_counter;
+    sunmt::mutex_exit(mu);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_MutexDefault(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    InitAll();
+  }
+  ContendOn(&g_mu_default, state);
+}
+BENCHMARK(BM_MutexDefault)->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_MutexSpin(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    InitAll();
+  }
+  ContendOn(&g_mu_spin, state);
+}
+BENCHMARK(BM_MutexSpin)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_MutexDebug(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    InitAll();
+  }
+  ContendOn(&g_mu_debug, state);
+}
+BENCHMARK(BM_MutexDebug)->Threads(1)->Threads(2)->UseRealTime();
+
+void BM_MutexShared(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    InitAll();
+  }
+  ContendOn(&g_mu_shared, state);
+}
+BENCHMARK(BM_MutexShared)->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_MutexTryenterUncontended(benchmark::State& state) {
+  sunmt::mutex_t mu = {};
+  for (auto _ : state) {
+    if (sunmt::mutex_tryenter(&mu)) {
+      sunmt::mutex_exit(&mu);
+    }
+  }
+}
+BENCHMARK(BM_MutexTryenterUncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Ablation A7 — producer/consumer pipeline throughput by synchronization
+// facility: condvar+mutex monitor vs counting semaphores vs process-shared
+// semaphores. The paper positions semaphores as "not as efficient as mutex
+// locks, but they need not be bracketed"; this quantifies the whole-pipeline
+// effect of each choice.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "src/core/thread.h"
+#include "src/sync/sync.h"
+
+namespace {
+
+constexpr size_t kCapacity = 64;
+
+// A fixed-size ring buffer; the synchronization flavor is the parameter.
+struct Ring {
+  int slots[kCapacity];
+  size_t head = 0;  // consumer side
+  size_t tail = 0;  // producer side
+};
+
+Ring g_ring;
+
+// ---- Condvar monitor flavor ----------------------------------------------------
+sunmt::mutex_t g_mu;
+sunmt::condvar_t g_not_full, g_not_empty;
+size_t g_count;
+
+void CvConsumer(void* arg) {
+  int n = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  for (int i = 0; i < n; ++i) {
+    sunmt::mutex_enter(&g_mu);
+    while (g_count == 0) {
+      sunmt::cv_wait(&g_not_empty, &g_mu);
+    }
+    benchmark::DoNotOptimize(g_ring.slots[g_ring.head % kCapacity]);
+    ++g_ring.head;
+    --g_count;
+    sunmt::cv_signal(&g_not_full);
+    sunmt::mutex_exit(&g_mu);
+  }
+}
+
+void BM_PipelineCondvar(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    g_ring = Ring{};
+    g_count = 0;
+    sunmt::mutex_init(&g_mu, 0, nullptr);
+    sunmt::cv_init(&g_not_full, 0, nullptr);
+    sunmt::cv_init(&g_not_empty, 0, nullptr);
+    const int n = static_cast<int>(state.range(0));
+    sunmt::thread_id_t consumer =
+        sunmt::thread_create(nullptr, 0, &CvConsumer,
+                             reinterpret_cast<void*>(static_cast<intptr_t>(n)),
+                             sunmt::THREAD_WAIT);
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      sunmt::mutex_enter(&g_mu);
+      while (g_count == kCapacity) {
+        sunmt::cv_wait(&g_not_full, &g_mu);
+      }
+      g_ring.slots[g_ring.tail % kCapacity] = i;
+      ++g_ring.tail;
+      ++g_count;
+      sunmt::cv_signal(&g_not_empty);
+      sunmt::mutex_exit(&g_mu);
+    }
+    sunmt::thread_wait(consumer);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_PipelineCondvar)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+// ---- Semaphore flavor (local and process-shared) --------------------------------
+sunmt::sema_t g_empty_slots, g_full_slots;
+
+void SemaConsumer(void* arg) {
+  int n = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  for (int i = 0; i < n; ++i) {
+    sunmt::sema_p(&g_full_slots);
+    benchmark::DoNotOptimize(g_ring.slots[g_ring.head % kCapacity]);
+    ++g_ring.head;
+    sunmt::sema_v(&g_empty_slots);
+  }
+}
+
+void RunSemaPipeline(benchmark::State& state, int variant) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    g_ring = Ring{};
+    sunmt::sema_init(&g_empty_slots, kCapacity, variant, nullptr);
+    sunmt::sema_init(&g_full_slots, 0, variant, nullptr);
+    const int n = static_cast<int>(state.range(0));
+    sunmt::thread_id_t consumer =
+        sunmt::thread_create(nullptr, 0, &SemaConsumer,
+                             reinterpret_cast<void*>(static_cast<intptr_t>(n)),
+                             sunmt::THREAD_WAIT);
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      sunmt::sema_p(&g_empty_slots);
+      g_ring.slots[g_ring.tail % kCapacity] = i;
+      ++g_ring.tail;
+      sunmt::sema_v(&g_full_slots);
+    }
+    sunmt::thread_wait(consumer);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+
+void BM_PipelineSema(benchmark::State& state) { RunSemaPipeline(state, 0); }
+BENCHMARK(BM_PipelineSema)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineSemaShared(benchmark::State& state) {
+  RunSemaPipeline(state, sunmt::THREAD_SYNC_SHARED);
+}
+BENCHMARK(BM_PipelineSemaShared)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Ablation A9 — the cost of layering: Pthreads-on-sunmt vs native sunmt vs
+// kernel threads.
+//
+// The paper claims higher-level interfaces "such as POSIX Pthreads" can be
+// implemented on top with a minimalist translation; this quantifies what the
+// translation costs per create/join cycle and per lock operation.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "src/core/thread.h"
+#include "src/pthread/pthread_compat.h"
+
+namespace {
+
+void* PtNop(void*) { return nullptr; }
+void SunmtNop(void*) {}
+
+void BM_PtCreateJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    sunmt::pt_t thread;
+    sunmt::pt_create(&thread, nullptr, &PtNop, nullptr);
+    sunmt::pt_join(thread, nullptr);
+  }
+}
+BENCHMARK(BM_PtCreateJoin);
+
+void BM_SunmtCreateWait(benchmark::State& state) {
+  for (auto _ : state) {
+    sunmt::thread_id_t id =
+        sunmt::thread_create(nullptr, 0, &SunmtNop, nullptr, sunmt::THREAD_WAIT);
+    sunmt::thread_wait(id);
+  }
+}
+BENCHMARK(BM_SunmtCreateWait);
+
+void BM_StdThreadCreateJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    std::thread t([] {});
+    t.join();
+  }
+}
+BENCHMARK(BM_StdThreadCreateJoin);
+
+void BM_PtMutexLockUnlock(benchmark::State& state) {
+  sunmt::pt_mutex_t mu;
+  sunmt::pt_mutex_init(&mu, nullptr);
+  for (auto _ : state) {
+    sunmt::pt_mutex_lock(&mu);
+    sunmt::pt_mutex_unlock(&mu);
+  }
+}
+BENCHMARK(BM_PtMutexLockUnlock);
+
+void BM_SunmtMutexEnterExit(benchmark::State& state) {
+  sunmt::mutex_t mu = {};
+  for (auto _ : state) {
+    sunmt::mutex_enter(&mu);
+    sunmt::mutex_exit(&mu);
+  }
+}
+BENCHMARK(BM_SunmtMutexEnterExit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Ablation A5 — thousands of threads.
+//
+// The paper's design target: "threads [must be] sufficiently lightweight so that
+// there can be thousands present". This measures create+run+reap batches of
+// 1k..16k unbound threads, plus the std::thread equivalent at small counts to
+// show why a 1:1 kernel-thread design cannot play the same game.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/core/thread.h"
+#include "src/sync/sync.h"
+
+namespace {
+
+sunmt::sema_t g_all_done;
+
+void Worker(void*) { sunmt::sema_v(&g_all_done); }
+
+void BM_UnboundThreadBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sunmt::sema_init(&g_all_done, 0, 0, nullptr);
+    for (int i = 0; i < n; ++i) {
+      sunmt::thread_create(nullptr, 0, &Worker, nullptr, 0);
+    }
+    for (int i = 0; i < n; ++i) {
+      sunmt::sema_p(&g_all_done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnboundThreadBatch)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_StdThreadBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    std::atomic<int> count{0};
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&count] { count.fetch_add(1); });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdThreadBatch)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

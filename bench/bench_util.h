@@ -1,0 +1,41 @@
+// Shared helpers for the paper-table benchmarks (fig5/fig6): formatting that
+// mirrors the paper's tables, including the `ratio` column ("the ratio of the
+// time in that row to the time in the previous row").
+
+#ifndef SUNMT_BENCH_BENCH_UTIL_H_
+#define SUNMT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sunmt_bench {
+
+struct Row {
+  std::string label;
+  double time_us;
+  double paper_us;  // the 25MHz SPARCstation 1+ number, for reference
+};
+
+inline void PrintPaperTable(const char* title, const std::vector<Row>& rows) {
+  printf("\n%s\n", title);
+  printf("  %-28s %12s %8s   %14s %8s\n", "", "Time (usec)", "ratio", "paper (usec)",
+         "ratio");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char ratio[32] = "";
+    char paper_ratio[32] = "";
+    if (i > 0 && rows[i - 1].time_us > 0) {
+      snprintf(ratio, sizeof(ratio), "%.2f", rows[i].time_us / rows[i - 1].time_us);
+    }
+    if (i > 0 && rows[i - 1].paper_us > 0) {
+      snprintf(paper_ratio, sizeof(paper_ratio), "%.2f",
+               rows[i].paper_us / rows[i - 1].paper_us);
+    }
+    printf("  %-28s %12.2f %8s   %14.0f %8s\n", rows[i].label.c_str(), rows[i].time_us,
+           ratio, rows[i].paper_us, paper_ratio);
+  }
+}
+
+}  // namespace sunmt_bench
+
+#endif  // SUNMT_BENCH_BENCH_UTIL_H_

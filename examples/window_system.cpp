@@ -1,0 +1,114 @@
+// Window system: the paper's flagship "thousands of threads" scenario.
+//
+// "A window system can treat each widget as a separate entity ... although the
+// window system may be best expressed as a large number of threads, only a few
+// of the threads ever need to be active at the same instant."
+//
+// Each widget gets an input-handler thread and an output-handler thread —
+// 2*kWidgets unbound threads — multiplexed on the process's small LWP pool.
+// An event pump dispatches synthetic input events; input handlers process them
+// and queue redraw requests, which output handlers consume. At the end we print
+// how many kernel execution vehicles (LWPs) the whole circus actually used.
+
+#include <atomic>
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/core/thread.h"
+#include "src/sync/sync.h"
+#include "src/tls/thread_local.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr int kWidgets = 1000;
+constexpr int kEvents = 20000;
+
+struct Widget {
+  sunmt::sema_t input_events;  // pending clicks/keys for this widget
+  sunmt::sema_t redraws;       // pending redraw requests
+  int clicks = 0;              // touched only by the input handler
+  int draws = 0;               // touched only by the output handler
+  // Set by the pump once dispatch is complete; -1 = still dispatching. The
+  // handlers exit after processing exactly this many events (the pump posts one
+  // extra "sentinel" credit so a handler blocked on an empty queue wakes up).
+  std::atomic<int> total{-1};
+};
+
+Widget g_widgets[kWidgets];
+sunmt::sema_t g_input_done;
+sunmt::sema_t g_output_done;
+sunmt::ThreadLocal<int> tls_widget_index;  // per-thread identity, zero-initialized
+
+void InputHandler(void* arg) {
+  int index = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  tls_widget_index.Get() = index;
+  Widget& w = g_widgets[index];
+  for (;;) {
+    sunmt::sema_p(&w.input_events);
+    int total = w.total.load(std::memory_order_acquire);
+    if (total >= 0 && w.clicks == total) {
+      break;  // sentinel: everything processed
+    }
+    ++w.clicks;
+    sunmt::sema_v(&w.redraws);  // every input event triggers a redraw
+  }
+  sunmt::sema_v(&w.redraws);  // sentinel for the output handler
+  sunmt::sema_v(&g_input_done);
+}
+
+void OutputHandler(void* arg) {
+  int index = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  Widget& w = g_widgets[index];
+  for (;;) {
+    sunmt::sema_p(&w.redraws);
+    int total = w.total.load(std::memory_order_acquire);
+    if (total >= 0 && w.draws == total) {
+      break;
+    }
+    ++w.draws;
+  }
+  sunmt::sema_v(&g_output_done);
+}
+
+}  // namespace
+
+int main() {
+  printf("window_system: %d widgets = %d threads on a small LWP pool\n", kWidgets,
+         2 * kWidgets);
+
+  for (int i = 0; i < kWidgets; ++i) {
+    auto arg = reinterpret_cast<void*>(static_cast<intptr_t>(i));
+    sunmt::thread_create(nullptr, 0, &InputHandler, arg, 0);
+    sunmt::thread_create(nullptr, 0, &OutputHandler, arg, 0);
+  }
+
+  // The event pump: random clicks across widgets, handled concurrently.
+  sunmt::SplitMix64 rng(2026);
+  static int per_widget[kWidgets];
+  for (int e = 0; e < kEvents; ++e) {
+    int target = static_cast<int>(rng.NextBounded(kWidgets));
+    ++per_widget[target];
+    sunmt::sema_v(&g_widgets[target].input_events);
+  }
+  // Dispatch complete: publish totals and wake everyone for the final check.
+  for (int i = 0; i < kWidgets; ++i) {
+    g_widgets[i].total.store(per_widget[i], std::memory_order_release);
+    sunmt::sema_v(&g_widgets[i].input_events);  // sentinel credit
+  }
+  for (int i = 0; i < kWidgets; ++i) {
+    sunmt::sema_p(&g_input_done);
+    sunmt::sema_p(&g_output_done);
+  }
+
+  long total_clicks = 0, total_draws = 0;
+  for (const Widget& w : g_widgets) {
+    total_clicks += w.clicks;
+    total_draws += w.draws;
+  }
+  printf("dispatched %d events; handlers processed %ld inputs, %ld redraws\n", kEvents,
+         total_clicks, total_draws);
+  printf("LWP pool size used for %d threads: %d\n", 2 * kWidgets,
+         sunmt::Runtime::Get().pool_size());
+  return total_clicks == kEvents && total_draws == kEvents ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Machine-dependent user-mode context switching.
+//
+// This is the mechanism that makes unbound threads "extremely lightweight": an LWP
+// assumes the identity of a thread by loading its register state from process memory
+// and sheds it by saving the registers back (Figure 2 in the paper), all without
+// entering the kernel.
+//
+// Two backends:
+//  - x86_64 assembly (default on x86_64): saves only the System-V callee-saved
+//    registers plus the FP control words, boost.context style. ~tens of ns.
+//  - ucontext (portable fallback, or -DSUNMT_FORCE_UCONTEXT=ON): uses
+//    swapcontext(2), which on Linux also saves the signal mask via sigprocmask —
+//    an instructive ablation, since that is precisely the kernel crossing the
+//    paper's design avoids (see bench/abl_context_switch).
+//
+// A Context is a *slot* for a suspended activation. Usage:
+//
+//   Context lwp_ctx, thr_ctx;
+//   thr_ctx.Make(stack.base(), stack.size(), entry);   // prepare new activation
+//   void* r = lwp_ctx.SwitchTo(thr_ctx, data);         // run it; we suspend here
+//
+// The data pointer passed to SwitchTo() is delivered to the resumed side: as the
+// entry function's argument on first activation, or as SwitchTo()'s return value
+// on re-activation. The scheduler uses it to hand over "commit" closures.
+
+#ifndef SUNMT_SRC_ARCH_CONTEXT_H_
+#define SUNMT_SRC_ARCH_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Backend selection: x86_64 gets the assembly path by default; AArch64 only
+// behind -DSUNMT_AARCH64_ASM (experimental, see context_aarch64.S); everything
+// else (or -DSUNMT_USE_UCONTEXT) uses the portable ucontext backend.
+#if defined(SUNMT_USE_UCONTEXT)
+#define SUNMT_CONTEXT_UCONTEXT 1
+#elif defined(__x86_64__)
+#define SUNMT_CONTEXT_ASM 1
+#elif defined(__aarch64__) && defined(SUNMT_AARCH64_ASM)
+#define SUNMT_CONTEXT_ASM 1
+#else
+#define SUNMT_CONTEXT_UCONTEXT 1
+#endif
+
+#if defined(SUNMT_CONTEXT_UCONTEXT)
+#include <ucontext.h>
+#endif
+
+namespace sunmt {
+
+class Context {
+ public:
+  using EntryFn = void (*)(void* arg);
+
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // Prepares this slot so that the first SwitchTo() into it starts executing
+  // entry(arg) on the given stack (which grows down from base+size). The entry
+  // function must never return; it must switch away (thread exit goes through
+  // the scheduler). `size` must be at least kMinStackSize.
+  void Make(void* stack_base, size_t size, EntryFn entry);
+
+  // Suspends the current activation into *this and resumes `target`. Returns the
+  // data passed by whichever activation later resumes *this.
+  void* SwitchTo(Context& target, void* data);
+
+  static constexpr size_t kMinStackSize = 4096;
+
+ private:
+#if defined(SUNMT_CONTEXT_ASM)
+  void* sp_ = nullptr;  // saved stack pointer; the register frame lives on the stack
+#else
+  ucontext_t uc_ = {};
+  void* transfer_ = nullptr;  // data handed to this context by its resumer
+  EntryFn entry_ = nullptr;
+  static void Trampoline(unsigned hi, unsigned lo);
+#endif
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_ARCH_CONTEXT_H_

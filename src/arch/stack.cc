@@ -1,0 +1,150 @@
+#include "src/arch/stack.h"
+
+#include <errno.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <new>
+
+#include "src/util/check.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+namespace {
+
+size_t PageSize() {
+  static const size_t kPageSize = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return kPageSize;
+}
+
+size_t RoundUpToPage(size_t n) {
+  size_t p = PageSize();
+  return (n + p - 1) / p * p;
+}
+
+// Free list of cached default-size stacks. A simple fixed array under a spinlock:
+// stack recycling happens at thread exit, which is already a scheduler operation.
+constexpr size_t kMaxCached = 256;
+
+struct CacheState {
+  SpinLock lock;
+  size_t count = 0;
+  // Raw mapping records; reconstructed into Stack objects on acquire.
+  struct Entry {
+    void* map_base;
+    size_t map_size;
+    void* base;
+    size_t size;
+  } entries[kMaxCached];
+};
+
+CacheState& Cache() {
+  static CacheState state;
+  return state;
+}
+
+}  // namespace
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+  if (this != &other) {
+    Release();
+    base_ = other.base_;
+    size_ = other.size_;
+    map_base_ = other.map_base_;
+    map_size_ = other.map_size_;
+    owned_ = other.owned_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+    other.map_base_ = nullptr;
+    other.map_size_ = 0;
+    other.owned_ = false;
+  }
+  return *this;
+}
+
+Stack Stack::AllocateOwned(size_t usable_size) {
+  size_t usable = RoundUpToPage(usable_size);
+  size_t guard = PageSize();
+  size_t total = usable + guard;
+  void* map = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (map == MAP_FAILED) {
+    SUNMT_PANIC_ERRNO("stack mmap failed", errno);
+  }
+  // Guard page at the low end: stacks grow down into it on overflow.
+  if (mprotect(map, guard, PROT_NONE) != 0) {
+    SUNMT_PANIC_ERRNO("stack guard mprotect failed", errno);
+  }
+  void* base = static_cast<char*>(map) + guard;
+  return Stack(base, usable, map, total, /*owned=*/true);
+}
+
+Stack Stack::WrapUnowned(void* base, size_t size) {
+  SUNMT_CHECK(base != nullptr);
+  SUNMT_CHECK(size > 0);
+  return Stack(base, size, nullptr, 0, /*owned=*/false);
+}
+
+void Stack::Release() {
+  if (owned_ && map_base_ != nullptr) {
+    SUNMT_CHECK(munmap(map_base_, map_size_) == 0);
+  }
+  base_ = nullptr;
+  size_ = 0;
+  map_base_ = nullptr;
+  map_size_ = 0;
+  owned_ = false;
+}
+
+Stack StackCache::Acquire() {
+  CacheState& c = Cache();
+  {
+    SpinLockGuard guard(c.lock);
+    if (c.count > 0) {
+      auto& e = c.entries[--c.count];
+      return Stack(e.base, e.size, e.map_base, e.map_size, /*owned=*/true);
+    }
+  }
+  return Stack::AllocateOwned(Stack::kDefaultSize);
+}
+
+void StackCache::Recycle(Stack stack) {
+  if (!stack.owned() || stack.size() != RoundUpToPage(Stack::kDefaultSize)) {
+    return;  // destructor frees it
+  }
+  CacheState& c = Cache();
+  SpinLockGuard guard(c.lock);
+  if (c.count >= kMaxCached) {
+    return;  // destructor frees it
+  }
+  // Steal the mapping from the Stack object so its destructor doesn't unmap it.
+  auto& e = c.entries[c.count++];
+  e.base = stack.base();
+  e.size = stack.size();
+  e.map_base = stack.map_base_;
+  e.map_size = stack.map_size_;
+  stack.Disown();
+}
+
+size_t StackCache::CachedCount() {
+  CacheState& c = Cache();
+  SpinLockGuard guard(c.lock);
+  return c.count;
+}
+
+void StackCache::ResetAfterFork() {
+  CacheState& c = Cache();
+  new (&c.lock) SpinLock();
+  c.count = 0;
+}
+
+void StackCache::Drain() {
+  CacheState& c = Cache();
+  SpinLockGuard guard(c.lock);
+  while (c.count > 0) {
+    auto& e = c.entries[--c.count];
+    SUNMT_CHECK(munmap(e.map_base, e.map_size) == 0);
+  }
+}
+
+}  // namespace sunmt

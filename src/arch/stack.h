@@ -1,0 +1,84 @@
+// Thread stacks.
+//
+// Per the paper's thread_create() contract, a stack is either supplied by the caller
+// (stack_addr/stack_size — so language run-times can manage their own memory) or
+// allocated by the package. Package stacks are mmap'ed with an inaccessible guard
+// page below the usable area so overflow faults instead of corrupting the heap, and
+// default-size stacks are cached on a free list — the paper's Figure 5 measures
+// creation "using a default stack that is cached by the threads package".
+
+#ifndef SUNMT_SRC_ARCH_STACK_H_
+#define SUNMT_SRC_ARCH_STACK_H_
+
+#include <cstddef>
+
+namespace sunmt {
+
+class Stack {
+ public:
+  // Default usable size for package-allocated stacks.
+  static constexpr size_t kDefaultSize = 256 * 1024;
+
+  Stack() = default;
+
+  // Allocates a guard-paged stack with at least `usable_size` usable bytes
+  // (rounded up to the page size). Panics on out-of-memory.
+  static Stack AllocateOwned(size_t usable_size);
+
+  // Wraps caller-provided memory; never freed by the package.
+  static Stack WrapUnowned(void* base, size_t size);
+
+  Stack(Stack&& other) noexcept { *this = static_cast<Stack&&>(other); }
+  Stack& operator=(Stack&& other) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+  ~Stack() { Release(); }
+
+  // Unmaps owned memory (no-op for unowned/empty stacks).
+  void Release();
+
+  void* base() const { return base_; }
+  size_t size() const { return size_; }
+  bool owned() const { return owned_; }
+  bool valid() const { return base_ != nullptr; }
+
+ private:
+  friend class StackCache;
+
+  Stack(void* base, size_t size, void* map_base, size_t map_size, bool owned)
+      : base_(base), size_(size), map_base_(map_base), map_size_(map_size), owned_(owned) {}
+
+  // Clears ownership without unmapping; used when the cache adopts the mapping.
+  void Disown() { owned_ = false; }
+
+  void* base_ = nullptr;     // lowest usable address
+  size_t size_ = 0;          // usable bytes
+  void* map_base_ = nullptr; // mmap region including guard page
+  size_t map_size_ = 0;
+  bool owned_ = false;
+};
+
+// Process-wide cache of default-size stacks. Thread-safe.
+class StackCache {
+ public:
+  // Returns a stack with kDefaultSize usable bytes, reusing a cached one if possible.
+  static Stack Acquire();
+
+  // Returns a default-size owned stack to the cache (or frees it if full / wrong size).
+  static void Recycle(Stack stack);
+
+  // Number of stacks currently cached (for tests).
+  static size_t CachedCount();
+
+  // Frees all cached stacks (for leak-sensitive tests).
+  static void Drain();
+
+  // fork1() child-side repair: reinitializes the cache lock and forgets cached
+  // entries (the child's copies are reachable only here; abandoning them is
+  // safe and simple).
+  static void ResetAfterFork();
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_ARCH_STACK_H_

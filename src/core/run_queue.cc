@@ -1,0 +1,70 @@
+#include "src/core/run_queue.h"
+
+namespace sunmt {
+
+int RunQueue::ClampPriority(int prio) {
+  if (prio < 0) {
+    return 0;
+  }
+  if (prio > kMaxPriority) {
+    return kMaxPriority;
+  }
+  return prio;
+}
+
+int RunQueue::HighestLevel() const {
+  if (bitmap_[1] != 0) {
+    return 127 - __builtin_clzll(bitmap_[1]);
+  }
+  if (bitmap_[0] != 0) {
+    return 63 - __builtin_clzll(bitmap_[0]);
+  }
+  return -1;
+}
+
+void RunQueue::Push(Tcb* tcb) {
+  int level = ClampPriority(tcb->priority.load(std::memory_order_relaxed));
+  SpinLockGuard guard(lock_);
+  tcb->queued_priority = level;
+  levels_[level].PushBack(tcb);
+  SetBit(level);
+  size_.fetch_add(1, std::memory_order_release);
+}
+
+void RunQueue::PushFront(Tcb* tcb) {
+  int level = ClampPriority(tcb->priority.load(std::memory_order_relaxed));
+  SpinLockGuard guard(lock_);
+  tcb->queued_priority = level;
+  levels_[level].PushFront(tcb);
+  SetBit(level);
+  size_.fetch_add(1, std::memory_order_release);
+}
+
+Tcb* RunQueue::Pop() {
+  SpinLockGuard guard(lock_);
+  int level = HighestLevel();
+  if (level < 0) {
+    return nullptr;
+  }
+  Tcb* tcb = levels_[level].PopFront();
+  if (levels_[level].Empty()) {
+    ClearBit(level);
+  }
+  size_.fetch_sub(1, std::memory_order_release);
+  return tcb;
+}
+
+bool RunQueue::Remove(Tcb* tcb) {
+  SpinLockGuard guard(lock_);
+  int level = tcb->queued_priority;
+  if (!levels_[level].TryRemove(tcb)) {
+    return false;
+  }
+  if (levels_[level].Empty()) {
+    ClearBit(level);
+  }
+  size_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+}  // namespace sunmt

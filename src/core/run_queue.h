@@ -1,0 +1,58 @@
+// The dispatcher's run queue: 128 priority levels, FIFO within a level, O(1)
+// highest-priority dispatch via a bitmap. Shared by all pool LWPs in the process
+// (bound threads never pass through it — their LWP runs only them).
+//
+// Per the paper, thread priority is >= 0 and "increasing the specified priority
+// gives increasing scheduling priority"; priorities influence which thread an LWP
+// picks next but scheduling between threads of equal priority is FIFO.
+
+#ifndef SUNMT_SRC_CORE_RUN_QUEUE_H_
+#define SUNMT_SRC_CORE_RUN_QUEUE_H_
+
+#include <cstdint>
+
+#include "src/core/tcb.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+class RunQueue {
+ public:
+  static constexpr int kLevels = 128;
+  static constexpr int kMaxPriority = kLevels - 1;
+
+  RunQueue() = default;
+  RunQueue(const RunQueue&) = delete;
+  RunQueue& operator=(const RunQueue&) = delete;
+
+  // Enqueues at the thread's current priority (clamped to [0, kMaxPriority]).
+  void Push(Tcb* tcb);
+
+  // Enqueues at the front of its priority level (used for preempted threads).
+  void PushFront(Tcb* tcb);
+
+  // Dequeues the highest-priority thread, or nullptr if empty.
+  Tcb* Pop();
+
+  // Removes a specific queued thread (thread_stop of a runnable thread).
+  // Returns false if the thread was not on the queue.
+  bool Remove(Tcb* tcb);
+
+  bool Empty() const { return size_.load(std::memory_order_acquire) == 0; }
+  size_t Size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  static int ClampPriority(int prio);
+  void SetBit(int level) { bitmap_[level / 64] |= (uint64_t{1} << (level % 64)); }
+  void ClearBit(int level) { bitmap_[level / 64] &= ~(uint64_t{1} << (level % 64)); }
+  int HighestLevel() const;
+
+  mutable SpinLock lock_;
+  uint64_t bitmap_[2] = {0, 0};
+  SleepQueue levels_[kLevels];
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CORE_RUN_QUEUE_H_

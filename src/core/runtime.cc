@@ -1,0 +1,457 @@
+#include "src/core/runtime.h"
+
+#include <stdlib.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "src/core/scheduler.h"
+#include "src/core/tls_arena.h"
+#include "src/core/trace.h"
+#include "src/lwp/lwp_clock.h"
+#include "src/util/check.h"
+#include "src/util/clock.h"
+
+namespace sunmt {
+namespace {
+
+RuntimeConfig g_pending_config;
+std::atomic<bool> g_initialized{false};
+std::atomic<Runtime*> g_runtime{nullptr};
+SpinLock g_runtime_create_lock;
+
+int OnlineCpus() {
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+void WatchdogMain(Runtime* rt, int64_t period_ns) {
+  for (;;) {
+    struct timespec req = {static_cast<time_t>(period_ns / 1000000000),
+                           static_cast<long>(period_ns % 1000000000)};
+    nanosleep(&req, nullptr);
+    rt->WatchdogTick();
+  }
+}
+
+}  // namespace
+
+SchedStats& GlobalSchedStats() {
+  static SchedStats* stats = new SchedStats;
+  return *stats;
+}
+
+Runtime& Runtime::Get() {
+  Runtime* rt = g_runtime.load(std::memory_order_acquire);
+  if (rt != nullptr) {
+    return *rt;
+  }
+  SpinLockGuard guard(g_runtime_create_lock);
+  rt = g_runtime.load(std::memory_order_acquire);
+  if (rt == nullptr) {
+    rt = new Runtime();  // leaked: the runtime outlives all threads
+    g_runtime.store(rt, std::memory_order_release);
+  }
+  return *rt;
+}
+
+namespace {
+
+// Fork-child handler registry: lock-free append into a fixed array (a lock
+// here would itself be fork-unsafe).
+constexpr int kMaxForkHandlers = 16;
+std::atomic<Runtime::ForkChildHandler> g_fork_handlers[kMaxForkHandlers];
+std::atomic<int> g_fork_handler_count{0};
+
+}  // namespace
+
+void Runtime::RegisterForkChildHandler(ForkChildHandler handler) {
+  int slot = g_fork_handler_count.fetch_add(1, std::memory_order_acq_rel);
+  SUNMT_CHECK(slot < kMaxForkHandlers);
+  g_fork_handlers[slot].store(handler, std::memory_order_release);
+}
+
+void Runtime::ResetAfterFork() {
+  // Called in a fork1() child: the parent's LWP kernel threads do not exist in
+  // this process, so the old Runtime (and every TCB it tracked) is abandoned and
+  // a fresh one is built lazily. The calling thread re-adopts on next use.
+  //
+  // Package-internal locks may have been copied in a locked state (the paper's
+  // fork1 hazard, applied to the library itself); every layer repairs its own
+  // state here.
+  int count = g_fork_handler_count.load(std::memory_order_acquire);
+  for (int i = 0; i < count && i < kMaxForkHandlers; ++i) {
+    ForkChildHandler handler = g_fork_handlers[i].load(std::memory_order_acquire);
+    if (handler != nullptr) {
+      handler();
+    }
+  }
+  StackCache::ResetAfterFork();
+  TlsArena::ResetLockAfterFork();
+  g_initialized.store(false, std::memory_order_release);
+  g_runtime.store(nullptr, std::memory_order_release);
+  Lwp::DropCurrentAfterFork();
+}
+
+bool Runtime::IsInitialized() { return g_initialized.load(std::memory_order_acquire); }
+
+void Runtime::Configure(const RuntimeConfig& config) {
+  SUNMT_CHECK(!IsInitialized());
+  g_pending_config = config;
+}
+
+namespace {
+
+// Environment overrides, consulted only where Configure() left the default —
+// explicit configuration always wins. Lets operators tune a deployed binary
+// (pool size, timeslice, growth) without a rebuild.
+void ApplyEnvOverrides(RuntimeConfig* config) {
+  const char* env;
+  if (config->initial_pool_lwps <= 0 && (env = getenv("SUNMT_POOL_LWPS")) != nullptr) {
+    config->initial_pool_lwps = atoi(env);
+  }
+  if (config->max_pool_lwps <= 0 && (env = getenv("SUNMT_MAX_POOL_LWPS")) != nullptr) {
+    config->max_pool_lwps = atoi(env);
+  }
+  if (config->preempt_timeslice_ns == 0 &&
+      (env = getenv("SUNMT_TIMESLICE_MS")) != nullptr) {
+    config->preempt_timeslice_ns = static_cast<int64_t>(atoi(env)) * 1000 * 1000;
+  }
+  if ((env = getenv("SUNMT_NO_AUTO_GROW")) != nullptr && env[0] == '1') {
+    config->auto_grow = false;
+  }
+}
+
+}  // namespace
+
+Runtime::Runtime() {
+  config_ = g_pending_config;
+  ApplyEnvOverrides(&config_);
+  if (config_.initial_pool_lwps <= 0) {
+    config_.initial_pool_lwps = OnlineCpus();
+  }
+  if (config_.max_pool_lwps <= 0) {
+    config_.max_pool_lwps = std::max(64, 4 * OnlineCpus());
+  }
+  g_initialized.store(true, std::memory_order_release);
+  if (config_.preempt_timeslice_ns > 0) {
+    Lwp::SetPreemptTimeslice(config_.preempt_timeslice_ns);
+    LwpClock::EnsureRunning();  // preemption rides on the clock tick
+  }
+  {
+    SpinLockGuard guard(pool_lock_);
+    for (int i = 0; i < config_.initial_pool_lwps; ++i) {
+      SpawnPoolLwpLocked();
+    }
+  }
+  std::thread(WatchdogMain, this, config_.watchdog_period_ns).detach();
+}
+
+void Runtime::SpawnPoolLwpLocked() {
+  Lwp* lwp = new Lwp(next_lwp_id_.fetch_add(1, std::memory_order_relaxed));
+  lwp->pool = this;
+  pool_lwps_.push_back(lwp);
+  pool_size_.fetch_add(1, std::memory_order_release);
+  lwp->Start(&sched::PoolLwpMain, this);
+}
+
+void Runtime::GrowPool(int delta) {
+  SpinLockGuard guard(pool_lock_);
+  for (int i = 0; i < delta && pool_size() < config_.max_pool_lwps; ++i) {
+    SpawnPoolLwpLocked();
+  }
+}
+
+int Runtime::SetConcurrency(int n) {
+  SUNMT_CHECK(n >= 0);
+  SpinLockGuard guard(pool_lock_);
+  concurrency_target_ = n;
+  if (n == 0) {
+    return 0;  // automatic mode: keep the current pool, let SIGWAITING grow it
+  }
+  n = std::min(n, config_.max_pool_lwps);
+  while (ActivePoolCountLocked() < n) {
+    SpawnPoolLwpLocked();
+  }
+  ShrinkPoolLocked(n);
+  return 0;
+}
+
+int Runtime::ActivePoolCountLocked() const {
+  int active = 0;
+  for (Lwp* lwp : pool_lwps_) {
+    if (!lwp->retire.load(std::memory_order_acquire)) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+void Runtime::ShrinkPoolLocked(int target) {
+  target = std::max(target, 1);  // keep at least one LWP serving unbound threads
+  int excess = ActivePoolCountLocked() - target;
+  for (Lwp* lwp : pool_lwps_) {
+    if (excess <= 0) {
+      break;
+    }
+    if (!lwp->retire.load(std::memory_order_acquire)) {
+      lwp->retire.store(true, std::memory_order_release);
+      lwp->Unpark();
+      --excess;
+    }
+  }
+}
+
+void Runtime::NotifyWork() {
+  Lwp* idle = nullptr;
+  {
+    SpinLockGuard guard(idle_lock_);
+    idle = idle_lwps_.PopFront();
+  }
+  if (idle != nullptr) {
+    idle->Unpark();
+  }
+}
+
+void Runtime::EnterIdle(Lwp* lwp) {
+  SpinLockGuard guard(idle_lock_);
+  idle_lwps_.PushBack(lwp);
+}
+
+void Runtime::ExitIdle(Lwp* lwp) {
+  SpinLockGuard guard(idle_lock_);
+  idle_lwps_.TryRemove(lwp);
+}
+
+Lwp* Runtime::SpawnBoundLwp(Tcb* tcb) {
+  Lwp* lwp = new Lwp(next_lwp_id_.fetch_add(1, std::memory_order_relaxed));
+  tcb->bound_lwp = lwp;
+  tcb->lwp = lwp;
+  lwp->Start(&sched::BoundLwpMain, tcb);
+  return lwp;
+}
+
+void Runtime::RetireLwp(Lwp* lwp, bool was_pool) {
+  if (was_pool) {
+    {
+      SpinLockGuard guard(pool_lock_);
+      auto it = std::find(pool_lwps_.begin(), pool_lwps_.end(), lwp);
+      if (it != pool_lwps_.end()) {
+        pool_lwps_.erase(it);
+        pool_size_.fetch_sub(1, std::memory_order_release);
+      }
+    }
+    ExitIdle(lwp);
+    // If work remains queued, make sure someone else picks it up.
+    if (!run_queue_.Empty()) {
+      NotifyWork();
+    }
+  }
+  SpinLockGuard guard(dead_lock_);
+  dead_lwps_.push_back(lwp);
+}
+
+void Runtime::ReapDeadLwps() {
+  std::vector<Lwp*> dead;
+  {
+    SpinLockGuard guard(dead_lock_);
+    dead.swap(dead_lwps_);
+  }
+  std::vector<Lwp*> not_ready;
+  for (Lwp* lwp : dead) {
+    if (lwp->Finished()) {
+      lwp->Join();
+      delete lwp;
+    } else {
+      not_ready.push_back(lwp);
+    }
+  }
+  if (!not_ready.empty()) {
+    SpinLockGuard guard(dead_lock_);
+    for (Lwp* lwp : not_ready) {
+      dead_lwps_.push_back(lwp);
+    }
+  }
+}
+
+void Runtime::RegisterThread(Tcb* tcb) {
+  SpinLockGuard guard(registry_lock_);
+  threads_.PushBack(tcb);
+}
+
+void Runtime::UnregisterThread(Tcb* tcb) {
+  SpinLockGuard guard(registry_lock_);
+  threads_.TryRemove(tcb);
+}
+
+size_t Runtime::ThreadCount() {
+  SpinLockGuard guard(registry_lock_);
+  return threads_.Size();
+}
+
+void Runtime::ReclaimTcb(Tcb* tcb) {
+  Stack stack = static_cast<Stack&&>(tcb->stack);
+  tcb->~Tcb();
+  if (stack.owned()) {
+    StackCache::Recycle(static_cast<Stack&&>(stack));
+  }
+  // Caller-supplied stacks are reclaimed by the application (after thread_wait
+  // for THREAD_WAIT threads, per the paper).
+}
+
+void Runtime::OnThreadExit(Tcb* tcb) {
+  Lwp* bound = tcb->bound_lwp;
+  wait_lock_.Lock();
+  UnregisterThread(tcb);
+  if (tcb->waitable) {
+    {
+      SpinLockGuard guard(tcb->state_lock);
+      tcb->state.store(ThreadState::kZombie, std::memory_order_release);
+    }
+    zombies_.PushBack(tcb);
+    WakeOneWaiterLocked(tcb->id);
+    wait_lock_.Unlock();
+  } else {
+    {
+      SpinLockGuard guard(tcb->state_lock);
+      tcb->state.store(ThreadState::kDead, std::memory_order_release);
+    }
+    wait_lock_.Unlock();
+    if (!tcb->is_main) {
+      ReclaimTcb(tcb);
+    }
+  }
+  if (bound != nullptr) {
+    bound->retire.store(true, std::memory_order_release);
+    bound->Unpark();
+  }
+}
+
+void Runtime::WakeOneWaiterLocked(ThreadId exited_id) {
+  Tcb* waiter = waiters_.PopIf([exited_id](Tcb* w) {
+    return w->waiting_for == exited_id || w->waiting_for == kInvalidThreadId;
+  });
+  if (waiter != nullptr) {
+    sched::Wake(waiter);
+  }
+}
+
+ThreadId Runtime::Wait(ThreadId id) {
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  if (id == self->id) {
+    return kInvalidThreadId;  // error: waiting for the current thread
+  }
+  wait_lock_.Lock();
+  for (;;) {
+    Tcb* zombie = zombies_.PopIf(
+        [id](Tcb* z) { return id == kInvalidThreadId || z->id == id; });
+    if (zombie != nullptr) {
+      ThreadId exited = zombie->id;
+      wait_lock_.Unlock();
+      ReclaimTcb(zombie);
+      return exited;
+    }
+    if (id != kInvalidThreadId) {
+      // The target must exist, be waitable, and have no other waiter.
+      bool ok = false;
+      bool already_waited = false;
+      {
+        SpinLockGuard guard(registry_lock_);
+        threads_.ForEach([&](Tcb* t) {
+          if (t->id == id && t->waitable) {
+            ok = true;
+          }
+        });
+      }
+      waiters_.ForEach([&](Tcb* w) {
+        if (w->waiting_for == id) {
+          already_waited = true;
+        }
+      });
+      if (!ok || already_waited) {
+        wait_lock_.Unlock();
+        return kInvalidThreadId;
+      }
+    } else {
+      // Any-wait: error if nothing waitable exists (would block forever).
+      bool any = false;
+      {
+        SpinLockGuard guard(registry_lock_);
+        threads_.ForEach([&](Tcb* t) {
+          if (t->waitable && t != self) {
+            any = true;
+          }
+        });
+      }
+      if (!any) {
+        wait_lock_.Unlock();
+        return kInvalidThreadId;
+      }
+    }
+    self->waiting_for = id;
+    waiters_.PushBack(self);
+    sched::Block(&wait_lock_);
+    wait_lock_.Lock();
+  }
+}
+
+bool Runtime::AllPoolLwpsIndefinitelyBlocked() {
+  for (Lwp* lwp : pool_lwps_) {
+    if (lwp->retire.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (!lwp->InIndefiniteWait()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Runtime::WatchdogTick() {
+  ReapDeadLwps();
+  if (!config_.auto_grow) {
+    return;
+  }
+  if (run_queue_.Empty()) {
+    return;
+  }
+  SpinLockGuard guard(pool_lock_);
+  if (pool_size() >= config_.max_pool_lwps) {
+    return;
+  }
+  if (pool_lwps_.empty() || !AllPoolLwpsIndefinitelyBlocked()) {
+    return;
+  }
+  // All LWPs are "waiting for some indefinite, external event" while runnable
+  // threads exist: this is the SIGWAITING condition. Grow the pool.
+  sigwaiting_count_.fetch_add(1, std::memory_order_relaxed);
+  Trace::Record(TraceEvent::kSigwaiting, 0, static_cast<uint64_t>(pool_size() + 1));
+  if (sigwaiting_hook_ != nullptr) {
+    sigwaiting_hook_(sigwaiting_cookie_);
+  }
+  SpawnPoolLwpLocked();
+}
+
+void Runtime::SetSigwaitingHook(SigwaitingHook hook, void* cookie) {
+  sigwaiting_cookie_ = cookie;
+  sigwaiting_hook_ = hook;
+}
+
+void Runtime::SnapshotLwps(std::vector<LwpInfo>* out) {
+  SpinLockGuard guard(pool_lock_);
+  out->clear();
+  for (Lwp* lwp : pool_lwps_) {
+    LwpInfo info;
+    info.id = lwp->id();
+    info.pool = true;
+    info.in_kernel_wait = lwp->InKernelWait();
+    info.indefinite_wait = lwp->InIndefiniteWait();
+    Tcb* t = static_cast<Tcb*>(lwp->current_thread);
+    info.running_thread = t != nullptr ? t->id : kInvalidThreadId;
+    out->push_back(info);
+  }
+}
+
+}  // namespace sunmt

@@ -1,0 +1,211 @@
+// Process-wide state of the threads package: the LWP pool, the run queue, the
+// thread registry, thread_wait bookkeeping, and the SIGWAITING watchdog.
+//
+// One Runtime exists per process ("the process is the unit of work; threads are
+// resources of the process"). It is created lazily on first use and intentionally
+// never destroyed: threads may outlive main(), and LWPs park rather than exit.
+
+#ifndef SUNMT_SRC_CORE_RUNTIME_H_
+#define SUNMT_SRC_CORE_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/run_queue.h"
+#include "src/core/tcb.h"
+#include "src/lwp/lwp.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+// Process-wide scheduling counters (relaxed; for introspection and tests).
+struct SchedStats {
+  std::atomic<uint64_t> dispatches{0};       // thread placed onto an LWP
+  std::atomic<uint64_t> yields{0};           // voluntary yield switches
+  std::atomic<uint64_t> preemptions{0};      // timeslice-forced yields
+  std::atomic<uint64_t> blocks{0};           // thread blocked on a sleep queue
+  std::atomic<uint64_t> wakes{0};            // blocked thread made runnable
+  std::atomic<uint64_t> threads_created{0};
+  std::atomic<uint64_t> threads_exited{0};
+  std::atomic<uint64_t> adoptions{0};        // foreign kernel threads adopted
+};
+
+SchedStats& GlobalSchedStats();
+
+struct RuntimeConfig {
+  // Pool LWPs created at initialization. 0 = one per online CPU.
+  int initial_pool_lwps = 0;
+  // Hard cap on pool LWPs (SIGWAITING growth stops here). 0 = max(64, 4 * CPUs).
+  int max_pool_lwps = 0;
+  // Grow the pool when all pool LWPs block in indefinite kernel waits while
+  // runnable threads exist (the library's SIGWAITING response). Matches the
+  // paper: "the threads package can use the receipt of SIGWAITING to cause
+  // extra LWPs to be created as required to avoid deadlock."
+  bool auto_grow = true;
+  // Watchdog poll period (the simulated kernel's SIGWAITING latency).
+  int64_t watchdog_period_ns = 500 * 1000;
+  // Time-slice for unbound threads, enforced at scheduling safe points by the
+  // clock tick (0 disables). Purely cooperative threads that never call into
+  // the package cannot be preempted — documented limitation of a user-level
+  // scheduler without kernel upcalls.
+  int64_t preempt_timeslice_ns = 0;
+};
+
+class Runtime {
+ public:
+  // Returns the process runtime, initializing it on first call.
+  static Runtime& Get();
+
+  static bool IsInitialized();
+
+  // Overrides the configuration; must be called before the first Get().
+  static void Configure(const RuntimeConfig& config);
+
+  // fork1() child-side reset: abandons the inherited runtime (whose LWPs do not
+  // exist in the child) so a fresh one is built on next use, and runs every
+  // registered fork-child handler. See src/ipc/fork1.h.
+  static void ResetAfterFork();
+
+  // Registers a handler run in the fork1() child before the runtime resets.
+  // Handlers repair module-local state that fork may have copied mid-mutation
+  // (e.g. a spinlock held by a parent thread that does not exist in the child).
+  // Lock-free registry; at most 16 handlers; idempotent registration is the
+  // caller's concern. Safe to call from lazy-init paths.
+  using ForkChildHandler = void (*)();
+  static void RegisterForkChildHandler(ForkChildHandler handler);
+
+  // ---- Run queue & pool --------------------------------------------------
+  RunQueue& run_queue() { return run_queue_; }
+
+  // thread_setconcurrency(): sets the unbound-thread concurrency level (bound
+  // LWPs excluded, per the paper). n == 0 restores automatic mode. Returns 0.
+  int SetConcurrency(int n);
+
+  // Adds `delta` pool LWPs (THREAD_NEW_LWP / SIGWAITING growth).
+  void GrowPool(int delta);
+
+  int pool_size() const { return pool_size_.load(std::memory_order_acquire); }
+  int max_pool_size() const { return config_.max_pool_lwps; }
+  uint64_t sigwaiting_count() const {
+    return sigwaiting_count_.load(std::memory_order_relaxed);
+  }
+
+  // Unparks an idle pool LWP, if any (called after enqueuing runnable work).
+  void NotifyWork();
+
+  // Idle protocol for pool LWPs (see PoolLwpMain).
+  void EnterIdle(Lwp* lwp);
+  void ExitIdle(Lwp* lwp);
+
+  // ---- LWP lifecycle -------------------------------------------------------
+  // Spawns a dedicated LWP bound to `tcb` (publishes tcb->bound_lwp first).
+  Lwp* SpawnBoundLwp(Tcb* tcb);
+
+  // Called by an LWP main loop just before returning; the watchdog reaps it.
+  void RetireLwp(Lwp* lwp, bool was_pool);
+
+  // Joins and deletes finished LWPs. Called by the watchdog and at barriers.
+  void ReapDeadLwps();
+
+  // ---- Thread registry -------------------------------------------------------
+  void RegisterThread(Tcb* tcb);
+  void UnregisterThread(Tcb* tcb);
+  size_t ThreadCount();
+  ThreadId AllocateThreadId() {
+    return next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Runs `fn(tcb)` with the registry lock held on the thread with `id`; returns
+  // false if no such thread. Keeps lookups race-free without exposing raw TCBs.
+  template <typename Fn>
+  bool WithThread(ThreadId id, Fn&& fn) {
+    SpinLockGuard guard(registry_lock_);
+    Tcb* found = nullptr;
+    threads_.ForEach([&](Tcb* t) {
+      if (t->id == id) {
+        found = t;
+      }
+    });
+    if (found == nullptr) {
+      return false;
+    }
+    fn(found);
+    return true;
+  }
+
+  template <typename Fn>
+  void ForEachThread(Fn&& fn) {
+    SpinLockGuard guard(registry_lock_);
+    threads_.ForEach([&](Tcb* t) { fn(t); });
+  }
+
+  // ---- thread_exit / thread_wait ----------------------------------------------
+  // Final bookkeeping for an exited thread; runs on the LWP dispatch stack.
+  void OnThreadExit(Tcb* tcb);
+
+  // thread_wait(): blocks until thread `id` (or any THREAD_WAIT thread if id==0)
+  // exits; returns the exited id, or kInvalidThreadId on error.
+  ThreadId Wait(ThreadId id);
+
+  // ---- Watchdog -----------------------------------------------------------------
+  // One SIGWAITING evaluation + dead-LWP reap; normally called by the watchdog
+  // thread, exposed for deterministic tests.
+  void WatchdogTick();
+
+  // Optional observer fired whenever SIGWAITING triggers (before pool growth).
+  using SigwaitingHook = void (*)(void* cookie);
+  void SetSigwaitingHook(SigwaitingHook hook, void* cookie);
+
+  // ---- Introspection snapshot (used by src/introspect) ---------------------------
+  struct LwpInfo {
+    int id;
+    bool pool;
+    bool in_kernel_wait;
+    bool indefinite_wait;
+    ThreadId running_thread;
+  };
+  void SnapshotLwps(std::vector<LwpInfo>* out);
+
+ private:
+  Runtime();
+
+  void SpawnPoolLwpLocked();
+  void ShrinkPoolLocked(int target);
+  int ActivePoolCountLocked() const;
+  bool AllPoolLwpsIndefinitelyBlocked();
+  void ReclaimTcb(Tcb* tcb);
+  void WakeOneWaiterLocked(ThreadId exited_id);
+
+  RuntimeConfig config_;
+  RunQueue run_queue_;
+
+  mutable SpinLock pool_lock_;
+  std::vector<Lwp*> pool_lwps_;
+  std::atomic<int> pool_size_{0};
+  int concurrency_target_ = 0;  // 0 = automatic
+  std::atomic<int> next_lwp_id_{1};
+
+  SpinLock idle_lock_;
+  IntrusiveList<Lwp, &Lwp::pool_node> idle_lwps_;
+
+  SpinLock registry_lock_;
+  IntrusiveList<Tcb, &Tcb::registry_node> threads_;
+  std::atomic<ThreadId> next_thread_id_{1};  // the initial (adopted) thread gets 1
+
+  SpinLock wait_lock_;
+  SleepQueue zombies_;
+  SleepQueue waiters_;
+
+  SpinLock dead_lock_;
+  std::vector<Lwp*> dead_lwps_;
+
+  std::atomic<uint64_t> sigwaiting_count_{0};
+  SigwaitingHook sigwaiting_hook_ = nullptr;
+  void* sigwaiting_cookie_ = nullptr;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CORE_RUNTIME_H_

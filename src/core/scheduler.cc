@@ -1,0 +1,343 @@
+#include "src/core/scheduler.h"
+
+#include <sched.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include <atomic>
+
+#include "src/arch/stack.h"
+#include "src/core/runtime.h"
+#include "src/core/tls_arena.h"
+#include "src/core/trace.h"
+#include "src/lwp/lwp.h"
+#include "src/util/check.h"
+#include "src/util/clock.h"
+
+namespace sunmt {
+namespace sched {
+namespace {
+
+// What a departing thread asks its LWP's dispatch loop to do after the context
+// save completes.
+enum class CommitKind : uint8_t {
+  kYield,  // requeue prev as runnable
+  kBlock,  // prev is on a sleep queue; mark blocked and release the queue lock
+  kExit,   // prev has terminated; run exit bookkeeping
+  kStop,   // prev stopped itself (thread_stop); park until thread_continue
+};
+
+struct SwitchCommit {
+  CommitKind kind;
+  Tcb* prev;
+  SpinLock* unlock;  // kBlock only
+};
+
+std::atomic<SignalDeliveryHook> g_signal_hook{nullptr};
+std::atomic<ThreadExitHook> g_exit_hook{nullptr};
+
+// Switches from the current thread to its LWP's dispatch context, delivering the
+// commit. Returns when the thread is next dispatched.
+void* Deschedule(Tcb* self, SwitchCommit* commit) {
+  Lwp* lwp = self->lwp;
+  SUNMT_DCHECK(lwp != nullptr);
+  return self->ctx.SwitchTo(lwp->sched_ctx, commit);
+}
+
+void RunCommit(SwitchCommit* commit) {
+  Tcb* prev = commit->prev;
+  switch (commit->kind) {
+    case CommitKind::kYield: {
+      GlobalSchedStats().yields.fetch_add(1, std::memory_order_relaxed);
+      Trace::Record(TraceEvent::kYield, prev->id, 0);
+      {
+        SpinLockGuard guard(prev->state_lock);
+        prev->state.store(ThreadState::kRunnable, std::memory_order_release);
+      }
+      Runtime& rt = Runtime::Get();
+      rt.run_queue().Push(prev);
+      rt.NotifyWork();
+      break;
+    }
+    case CommitKind::kBlock: {
+      GlobalSchedStats().blocks.fetch_add(1, std::memory_order_relaxed);
+      Trace::Record(TraceEvent::kBlock, prev->id, 0);
+      {
+        SpinLockGuard guard(prev->state_lock);
+        prev->state.store(ThreadState::kBlocked, std::memory_order_release);
+      }
+      commit->unlock->Unlock();
+      break;
+    }
+    case CommitKind::kStop: {
+      Trace::Record(TraceEvent::kStop, prev->id, 0);
+      SpinLockGuard guard(prev->state_lock);
+      prev->stop_requested.store(false, std::memory_order_relaxed);
+      prev->state.store(ThreadState::kStopped, std::memory_order_release);
+      break;
+    }
+    case CommitKind::kExit: {
+      GlobalSchedStats().threads_exited.fetch_add(1, std::memory_order_relaxed);
+      Trace::Record(TraceEvent::kExit, prev->id, 0);
+      Runtime::Get().OnThreadExit(prev);
+      break;
+    }
+  }
+}
+
+// Adoption of foreign kernel threads (including the initial program thread).
+// The adopted thread becomes a bound thread whose LWP is the calling kernel
+// thread; the LWP's dispatch loop runs on a small side stack entered the first
+// time the thread blocks.
+void AdoptedSchedMain(void* first_commit) {
+  auto* commit = static_cast<SwitchCommit*>(first_commit);
+  Lwp* self = Lwp::Current();
+  SUNMT_CHECK(self != nullptr);
+  Tcb* tcb = commit->prev;
+  self->current_thread = nullptr;
+  RunCommit(commit);
+  for (;;) {
+    ThreadState s = tcb->state.load(std::memory_order_acquire);
+    if (s == ThreadState::kRunnable) {
+      RunThread(self, tcb);
+      continue;
+    }
+    // Blocked, stopped, or exited: park. (An exited adopted thread parks its
+    // kernel thread forever; the process ends only via exit().)
+    self->Park();
+  }
+}
+
+Tcb* AdoptCurrentKernelThread() {
+  Runtime& rt = Runtime::Get();
+  // Build an LWP wrapper around the calling kernel thread and a bound TCB for it.
+  // Heap allocation is fine here: adoption happens once per foreign thread, and
+  // deliberately leaks (the TCB must outlive any reference from the package).
+  GlobalSchedStats().adoptions.fetch_add(1, std::memory_order_relaxed);
+  static std::atomic<int> next_adopted_id{10000};
+  Lwp* lwp = new Lwp(next_adopted_id.fetch_add(1), Lwp::AdoptCurrentThreadTag{});
+  Tcb* tcb = new Tcb;
+  tcb->id = rt.AllocateThreadId();
+  tcb->is_main = true;
+  tcb->bound_lwp = lwp;
+  tcb->lwp = lwp;
+  tcb->priority.store(RunQueue::kLevels / 2, std::memory_order_relaxed);
+  size_t tls_size = TlsArena::FrozenSize();
+  if (tls_size > 0) {
+    tcb->tls_block = calloc(1, tls_size);
+    SUNMT_CHECK(tcb->tls_block != nullptr);
+    tcb->tls_size = tls_size;
+  }
+  // Side stack for the LWP's dispatch loop (the thread keeps its native stack).
+  Stack sched_stack = Stack::AllocateOwned(64 * 1024);
+  lwp->sched_ctx.Make(sched_stack.base(), sched_stack.size(), &AdoptedSchedMain);
+  // Keep the mapping alive: the TCB is never reclaimed, so park it there.
+  tcb->stack = static_cast<Stack&&>(sched_stack);
+  tcb->state.store(ThreadState::kRunning, std::memory_order_release);
+  lwp->current_thread = tcb;
+  rt.RegisterThread(tcb);
+  return tcb;
+}
+
+}  // namespace
+
+Tcb* CurrentTcb() {
+  Lwp* lwp = Lwp::Current();
+  if (lwp == nullptr) {
+    return nullptr;
+  }
+  return static_cast<Tcb*>(lwp->current_thread);
+}
+
+Tcb* CurrentTcbOrAdopt() {
+  Tcb* tcb = CurrentTcb();
+  if (tcb != nullptr) {
+    return tcb;
+  }
+  SUNMT_CHECK(Lwp::Current() == nullptr);  // dispatch contexts must not call in
+  return AdoptCurrentKernelThread();
+}
+
+void SetSignalDeliveryHook(SignalDeliveryHook hook) {
+  g_signal_hook.store(hook, std::memory_order_release);
+}
+
+void SafePoint() {
+  Tcb* self = CurrentTcb();
+  if (self == nullptr) {
+    return;
+  }
+  if (self->stop_requested.load(std::memory_order_acquire)) {
+    StopSelf();
+  }
+  // Time-slice preemption: requeue behind equal-priority peers. Bound threads
+  // own their LWP, so the host scheduler handles their fairness.
+  Lwp* lwp = self->lwp;
+  if (lwp != nullptr && lwp->preempt_pending.exchange(false, std::memory_order_acq_rel) &&
+      !self->IsBound()) {
+    Runtime& rt = Runtime::Get();
+    if (!rt.run_queue().Empty()) {
+      GlobalSchedStats().preemptions.fetch_add(1, std::memory_order_relaxed);
+      Trace::Record(TraceEvent::kPreempt, self->id, 0);
+      SwitchCommit commit{CommitKind::kYield, self, nullptr};
+      Deschedule(self, &commit);  // re-dispatch starts a fresh slice
+    }
+  }
+  SignalDeliveryHook hook = g_signal_hook.load(std::memory_order_acquire);
+  if (hook != nullptr && !self->handling_signal &&
+      (self->pending_signals.load(std::memory_order_acquire) &
+       ~self->sigmask.load(std::memory_order_acquire)) != 0) {
+    hook(self);
+  }
+}
+
+void Yield() {
+  Tcb* self = CurrentTcb();
+  if (self == nullptr) {
+    return;
+  }
+  SafePoint();
+  if (self->IsBound()) {
+    // A bound thread owns its LWP; yielding is a host-scheduler affair.
+    sched_yield();
+    return;
+  }
+  Runtime& rt = Runtime::Get();
+  if (rt.run_queue().Empty()) {
+    return;
+  }
+  SwitchCommit commit{CommitKind::kYield, self, nullptr};
+  Deschedule(self, &commit);
+  SafePoint();
+}
+
+void Block(SpinLock* queue_lock) {
+  Tcb* self = CurrentTcb();
+  SUNMT_CHECK(self != nullptr);
+  SwitchCommit commit{CommitKind::kBlock, self, queue_lock};
+  Deschedule(self, &commit);
+  SafePoint();
+}
+
+void StopSelf() {
+  Tcb* self = CurrentTcb();
+  SUNMT_CHECK(self != nullptr);
+  SwitchCommit commit{CommitKind::kStop, self, nullptr};
+  Deschedule(self, &commit);
+}
+
+void SetThreadExitHook(ThreadExitHook hook) {
+  g_exit_hook.store(hook, std::memory_order_release);
+}
+
+void ExitCurrent() {
+  Tcb* self = CurrentTcb();
+  SUNMT_CHECK(self != nullptr);
+  ThreadExitHook exit_hook = g_exit_hook.load(std::memory_order_acquire);
+  if (exit_hook != nullptr) {
+    exit_hook(self);  // runs on the exiting thread's stack; may call user code
+  }
+  SwitchCommit commit{CommitKind::kExit, self, nullptr};
+  Deschedule(self, &commit);
+  SUNMT_PANIC("exited thread was dispatched again");
+}
+
+void Wake(Tcb* tcb) {
+  {
+    SpinLockGuard guard(tcb->state_lock);
+    SUNMT_DCHECK(tcb->state.load(std::memory_order_relaxed) == ThreadState::kBlocked);
+    if (tcb->stop_requested.load(std::memory_order_relaxed)) {
+      // Stopped while blocked: pend the wakeup until thread_continue.
+      tcb->stop_requested.store(false, std::memory_order_relaxed);
+      tcb->wakeup_pending = true;
+      tcb->state.store(ThreadState::kStopped, std::memory_order_release);
+      return;
+    }
+  }
+  MakeRunnable(tcb);
+}
+
+void MakeRunnable(Tcb* tcb) {
+  GlobalSchedStats().wakes.fetch_add(1, std::memory_order_relaxed);
+  if (Trace::IsEnabled()) {
+    Tcb* waker = CurrentTcb();
+    Trace::Record(TraceEvent::kWake, tcb->id, waker != nullptr ? waker->id : 0);
+  }
+  {
+    SpinLockGuard guard(tcb->state_lock);
+    tcb->state.store(ThreadState::kRunnable, std::memory_order_release);
+  }
+  if (tcb->IsBound()) {
+    tcb->bound_lwp->Unpark();
+    return;
+  }
+  Runtime& rt = Runtime::Get();
+  rt.run_queue().Push(tcb);
+  rt.NotifyWork();
+}
+
+void RunThread(Lwp* lwp, Tcb* tcb) {
+  GlobalSchedStats().dispatches.fetch_add(1, std::memory_order_relaxed);
+  Trace::Record(TraceEvent::kDispatch, tcb->id, static_cast<uint64_t>(lwp->id()));
+  lwp->current_thread = tcb;
+  {
+    SpinLockGuard guard(tcb->state_lock);
+    tcb->lwp = lwp;
+    tcb->state.store(ThreadState::kRunning, std::memory_order_release);
+  }
+  if (Lwp::PreemptTimeslice() > 0) {
+    lwp->MarkDispatch(ThreadCpuNowNs());
+  }
+  void* ret = lwp->sched_ctx.SwitchTo(tcb->ctx, tcb);
+  lwp->ClearDispatch();
+  lwp->current_thread = nullptr;
+  RunCommit(static_cast<SwitchCommit*>(ret));
+}
+
+void ThreadTrampoline(void* arg) {
+  Tcb* self = static_cast<Tcb*>(arg);
+  SafePoint();
+  self->entry(self->arg);
+  ExitCurrent();
+}
+
+void PoolLwpMain(Lwp* self, void* arg) {
+  auto* rt = static_cast<Runtime*>(arg);
+  for (;;) {
+    if (self->retire.load(std::memory_order_acquire)) {
+      break;
+    }
+    Tcb* next = rt->run_queue().Pop();
+    if (next != nullptr) {
+      RunThread(self, next);
+      continue;
+    }
+    // Idle protocol: register, re-check for work that raced in, then park.
+    rt->EnterIdle(self);
+    if (!rt->run_queue().Empty() || self->retire.load(std::memory_order_acquire)) {
+      rt->ExitIdle(self);
+      continue;
+    }
+    self->Park();
+    rt->ExitIdle(self);
+  }
+  rt->RetireLwp(self, /*was_pool=*/true);
+}
+
+void BoundLwpMain(Lwp* self, void* arg) {
+  Tcb* tcb = static_cast<Tcb*>(arg);
+  for (;;) {
+    if (self->retire.load(std::memory_order_acquire)) {
+      break;  // tcb may already be reclaimed; do not touch it
+    }
+    if (tcb->state.load(std::memory_order_acquire) == ThreadState::kRunnable) {
+      RunThread(self, tcb);
+      continue;
+    }
+    self->Park();
+  }
+  Runtime::Get().RetireLwp(self, /*was_pool=*/false);
+}
+
+}  // namespace sched
+}  // namespace sunmt

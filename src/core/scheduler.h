@@ -1,0 +1,101 @@
+// The user-level scheduler: how LWPs execute threads (Figure 2 of the paper).
+//
+// An LWP "chooses a thread to run by locating the thread state in process memory,
+// loading the registers and assuming the identity of the thread"; when the thread
+// cannot continue, the LWP "saves the state of the thread back in memory" and picks
+// another. All of that happens here, without entering the kernel.
+//
+// Handoff protocol (switch-then-commit): a thread that leaves its LWP passes a
+// small SwitchCommit closure through the context switch; the LWP's dispatch loop
+// runs the closure *after* the thread's register state is fully saved. Blocking
+// paths keep the sleep queue's spinlock held across the switch and release it in
+// the commit, so a waker can never dispatch a thread whose context is still being
+// saved.
+//
+// This header is internal to the threads package; applications use
+// src/core/thread.h (the paper's Figure 4 interface).
+
+#ifndef SUNMT_SRC_CORE_SCHEDULER_H_
+#define SUNMT_SRC_CORE_SCHEDULER_H_
+
+#include "src/core/tcb.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+class Lwp;
+
+namespace sched {
+
+// The thread currently executing on this kernel thread, or nullptr if the caller
+// is not running on an LWP.
+Tcb* CurrentTcb();
+
+// Like CurrentTcb(), but adopts a foreign kernel thread (including the initial
+// program thread) into the threads package on first use: it gets an LWP of its
+// own and a bound TCB, per the paper's "degenerate case of a process constructed
+// of an address space and one lightweight process".
+Tcb* CurrentTcbOrAdopt();
+
+// ---- Thread-side operations (must run on an LWP) ---------------------------
+
+// Cooperatively gives up the LWP if equal-or-higher-priority work is queued.
+void Yield();
+
+// Blocks the current thread. The caller must already have pushed it onto a sleep
+// queue guarded by `queue_lock`, which is held at the call and released by the
+// commit after the context save. Returns when another thread calls Wake().
+void Block(SpinLock* queue_lock);
+
+// Terminates the current thread; never returns.
+[[noreturn]] void ExitCurrent();
+
+// Stops the current thread until thread_continue (never returns until continued).
+void StopSelf();
+
+// Honors pending stop requests and (via the hook) signal delivery. Called at
+// every scheduling safe point; cheap when nothing is pending.
+void SafePoint();
+
+// ---- Waker-side operations (any thread) -------------------------------------
+
+// Makes a blocked thread runnable. The caller must have removed it from its sleep
+// queue (holding that queue's lock) first. If a stop request is pending, the
+// wakeup is deferred until thread_continue (the thread parks in kStopped).
+void Wake(Tcb* tcb);
+
+// Requeues a runnable unbound thread or kicks a bound thread's LWP. Used by
+// thread_continue and thread creation.
+void MakeRunnable(Tcb* tcb);
+
+// ---- LWP dispatch loops ------------------------------------------------------
+
+// Main function for pool LWPs: multiplexes unbound threads from the run queue.
+void PoolLwpMain(Lwp* self, void* arg);
+
+// Main function for a dedicated LWP permanently bound to one thread (arg = Tcb*).
+void BoundLwpMain(Lwp* self, void* arg);
+
+// Dispatch-loop body shared by all LWP kinds: runs `tcb` until it switches back,
+// then executes its commit closure.
+void RunThread(Lwp* lwp, Tcb* tcb);
+
+// Entry point for new-thread contexts (installed by thread_create).
+void ThreadTrampoline(void* arg);
+
+// ---- Hooks -------------------------------------------------------------------
+
+// Installed by src/signal: called from SafePoint when the current thread has
+// deliverable pending signals.
+using SignalDeliveryHook = void (*)(Tcb* self);
+void SetSignalDeliveryHook(SignalDeliveryHook hook);
+
+// Installed by src/tls: called on the exiting thread's own stack just before it
+// leaves its LWP, so thread-specific-data destructors can run user code.
+using ThreadExitHook = void (*)(Tcb* self);
+void SetThreadExitHook(ThreadExitHook hook);
+
+}  // namespace sched
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CORE_SCHEDULER_H_

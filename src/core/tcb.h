@@ -1,0 +1,111 @@
+// Thread control block (TCB).
+//
+// "Threads are actually represented by data structures in the address space of a
+// program." The TCB carries exactly the per-thread state the paper enumerates —
+// thread ID, register state (the Context slot), stack, signal mask, priority, and
+// thread-local storage — plus the queue links and bookkeeping the user-level
+// scheduler needs. The TCB is carved out of the *top of the thread's own stack*
+// (together with the TLS block), so creating a thread performs no heap allocation:
+// one of the paper's explicit design principles.
+
+#ifndef SUNMT_SRC_CORE_TCB_H_
+#define SUNMT_SRC_CORE_TCB_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/arch/context.h"
+#include "src/arch/stack.h"
+#include "src/core/thread.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+class Lwp;
+
+using ThreadId = thread_id_t;
+
+enum class ThreadState : uint8_t {
+  kEmbryo,    // being constructed, not yet dispatchable
+  kRunnable,  // on the run queue (unbound) or wake-pending (bound)
+  kRunning,   // executing on an LWP
+  kBlocked,   // on a sleep queue (sync object, thread_wait, ...)
+  kStopped,   // thread_stop'ed / created with THREAD_STOP; not dispatchable
+  kZombie,    // exited, awaiting thread_wait (THREAD_WAIT threads only)
+  kDead,      // exited and reclaimed
+};
+
+struct Tcb {
+  using EntryFn = void (*)(void*);
+
+  // ---- Identity & user entry ----------------------------------------------
+  ThreadId id = kInvalidThreadId;
+  EntryFn entry = nullptr;
+  void* arg = nullptr;
+  char name[32] = {};  // optional label for the debugger story (thread_setname)
+
+  // ---- Register state & stack ---------------------------------------------
+  Context ctx;
+  Stack stack;            // owned mapping or unowned wrapper around a user stack
+  void* tls_block = nullptr;
+  size_t tls_size = 0;
+
+  // ---- Scheduling state ----------------------------------------------------
+  // Guards state transitions (state, stop/wakeup flags). Leaf lock: acquired
+  // after any sleep-queue lock, never before.
+  SpinLock state_lock;
+  std::atomic<ThreadState> state{ThreadState::kEmbryo};
+  std::atomic<int> priority{0};
+  int queued_priority = 0;   // level this TCB was enqueued at (run queue internal)
+  Lwp* lwp = nullptr;        // carrying LWP while kRunning; bound LWP if bound
+  Lwp* bound_lwp = nullptr;  // non-null iff permanently bound (THREAD_BIND_LWP)
+  bool is_main = false;      // the adopted initial thread
+
+  // Stop/continue plumbing (thread_stop is honored at safe points).
+  std::atomic<bool> stop_requested{false};
+  bool wakeup_pending = false;  // woken while stop-pending; re-run on continue
+
+
+  // ---- thread_wait plumbing ------------------------------------------------
+  bool waitable = false;        // created with THREAD_WAIT
+  ThreadId waiting_for = kInvalidThreadId;  // valid while blocked in thread_wait
+
+  // ---- Sync-object wait queue links (see src/sync) -------------------------
+  // Sync variables must be zero-initializable even in shared memory, so their
+  // embedded wait queues are singly-linked Tcb chains rather than IntrusiveLists.
+  Tcb* wait_next = nullptr;
+  uint8_t wait_mode = 0;  // rwlock: reader/writer/upgrader tag
+
+  // Timed-wait support (cv_timedwait): the generation distinguishes successive
+  // blocks of the same thread so a stale timeout cannot wake a later wait;
+  // timed_out reports which waker (signal or timer) got there first. Both are
+  // written under the owning sync object's qlock.
+  uint64_t block_generation = 0;
+  bool timed_out = false;
+
+  // SYNC_DEBUG mutexes record what this thread is blocked on, enabling the
+  // wait-for-graph deadlock detector (advisory reads; see src/sync/mutex.cc).
+  std::atomic<void*> waiting_for_mutex{nullptr};
+
+  // ---- Signal state (consumed by src/signal) -------------------------------
+  std::atomic<uint64_t> sigmask{0};
+  std::atomic<uint64_t> pending_signals{0};
+  bool handling_signal = false;
+  bool on_alt_stack = false;  // bound threads: handler running on the alt stack
+
+  // ---- Queue links ----------------------------------------------------------
+  // A thread is on at most one of: run queue, a sleep queue, the zombie list.
+  ListNode run_node;
+  ListNode registry_node;  // global thread registry
+
+  bool IsBound() const { return bound_lwp != nullptr; }
+};
+
+// A sleep queue: the wait list attached to every blocking object (sync variables,
+// the thread_wait waiter list). FIFO; the owning object provides the lock.
+using SleepQueue = IntrusiveList<Tcb, &Tcb::run_node>;
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CORE_TCB_H_

@@ -1,0 +1,145 @@
+#include "src/core/trace.h"
+
+#include <atomic>
+#include <cinttypes>
+
+#include "src/util/check.h"
+#include "src/util/clock.h"
+
+namespace sunmt {
+namespace {
+
+// Each slot carries a sequence number (seqlock-style): even = stable, odd =
+// being written. Writers claim slots with a global ticket; readers skip slots
+// whose sequence moved while copying.
+struct Slot {
+  std::atomic<uint64_t> seq{0};
+  TraceRecord record;
+};
+
+struct RingState {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> next_ticket{0};
+  size_t mask = 0;  // capacity - 1
+  Slot* slots = nullptr;
+};
+
+RingState& Ring() {
+  static RingState* state = new RingState;
+  return *state;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+void Trace::Enable(size_t capacity) {
+  RingState& ring = Ring();
+  SUNMT_CHECK(!ring.enabled.load(std::memory_order_acquire));
+  size_t cap = RoundUpPow2(capacity < 16 ? 16 : capacity);
+  delete[] ring.slots;
+  ring.slots = new Slot[cap];
+  ring.mask = cap - 1;
+  ring.next_ticket.store(0, std::memory_order_relaxed);
+  ring.enabled.store(true, std::memory_order_release);
+}
+
+void Trace::Disable() { Ring().enabled.store(false, std::memory_order_release); }
+
+bool Trace::IsEnabled() { return Ring().enabled.load(std::memory_order_acquire); }
+
+void Trace::Record(TraceEvent event, uint64_t thread_id, uint64_t arg) {
+  RingState& ring = Ring();
+  if (!ring.enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  uint64_t ticket = ring.next_ticket.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[ticket & ring.mask];
+  // Lap number encodes stability: seq is 2*lap+1 while writing, 2*(lap+1) after.
+  uint64_t lap = ticket / (ring.mask + 1);
+  slot.seq.store(2 * lap + 1, std::memory_order_release);
+  slot.record.time_ns = MonotonicNowNs();
+  slot.record.thread_id = thread_id;
+  slot.record.arg = arg;
+  slot.record.event = event;
+  slot.seq.store(2 * (lap + 1), std::memory_order_release);
+}
+
+size_t Trace::Collect(std::vector<TraceRecord>* out) {
+  out->clear();
+  RingState& ring = Ring();
+  if (ring.slots == nullptr) {
+    return 0;
+  }
+  uint64_t end = ring.next_ticket.load(std::memory_order_acquire);
+  size_t capacity = ring.mask + 1;
+  uint64_t begin = end > capacity ? end - capacity : 0;
+  for (uint64_t ticket = begin; ticket < end; ++ticket) {
+    Slot& slot = ring.slots[ticket & ring.mask];
+    uint64_t lap = ticket / capacity;
+    uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before != 2 * (lap + 1)) {
+      continue;  // overwritten by a later lap or still being written
+    }
+    TraceRecord copy = slot.record;
+    if (slot.seq.load(std::memory_order_acquire) != seq_before) {
+      continue;  // torn: a writer raced in while we copied
+    }
+    out->push_back(copy);
+  }
+  return out->size();
+}
+
+std::string Trace::Format() {
+  std::vector<TraceRecord> records;
+  Collect(&records);
+  std::string out;
+  char line[128];
+  for (const TraceRecord& r : records) {
+    snprintf(line, sizeof(line), "%12.3fus tid=%-6" PRIu64 " %-10s arg=%" PRIu64 "\n",
+             static_cast<double>(r.time_ns % 1000000000000ll) / 1e3, r.thread_id,
+             TraceEventName(r.event), r.arg);
+    out += line;
+  }
+  return out;
+}
+
+uint64_t Trace::RecordedCount() {
+  return Ring().next_ticket.load(std::memory_order_relaxed);
+}
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kDispatch:
+      return "DISPATCH";
+    case TraceEvent::kYield:
+      return "YIELD";
+    case TraceEvent::kPreempt:
+      return "PREEMPT";
+    case TraceEvent::kBlock:
+      return "BLOCK";
+    case TraceEvent::kWake:
+      return "WAKE";
+    case TraceEvent::kStop:
+      return "STOP";
+    case TraceEvent::kContinue:
+      return "CONTINUE";
+    case TraceEvent::kCreate:
+      return "CREATE";
+    case TraceEvent::kExit:
+      return "EXIT";
+    case TraceEvent::kSignal:
+      return "SIGNAL";
+    case TraceEvent::kSigwaiting:
+      return "SIGWAITING";
+  }
+  return "?";
+}
+
+}  // namespace sunmt

@@ -1,0 +1,69 @@
+// Scheduler event tracing.
+//
+// The paper's debugging story is "cooperation between the debugger and the
+// threads library": the library must be able to tell an external observer what
+// its invisible-to-the-kernel threads are doing. This is the other half of that
+// cooperation (src/introspect gives state snapshots; this gives history): a
+// lock-free ring of scheduler events — dispatches, blocks, wakes, yields,
+// preemptions, creations, exits, signal deliveries — cheap enough to leave on
+// around a failure and dump post-mortem.
+//
+// Disabled by default; Record() is one relaxed load when off.
+
+#ifndef SUNMT_SRC_CORE_TRACE_H_
+#define SUNMT_SRC_CORE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sunmt {
+
+enum class TraceEvent : uint8_t {
+  kDispatch = 1,  // thread placed onto an LWP          arg = lwp id
+  kYield,         // thread yielded voluntarily
+  kPreempt,       // timeslice forced the yield
+  kBlock,         // thread blocked on a sleep queue
+  kWake,          // thread made runnable               arg = waker thread (0 unknown)
+  kStop,          // thread stopped (thread_stop)
+  kContinue,      // thread continued
+  kCreate,        // thread created                     arg = creator thread
+  kExit,          // thread exited
+  kSignal,        // signal delivered to thread         arg = signal number
+  kSigwaiting,    // pool grown by the watchdog         arg = new pool size
+};
+
+struct TraceRecord {
+  int64_t time_ns;     // monotonic timestamp
+  uint64_t thread_id;  // subject thread
+  uint64_t arg;        // event-specific (see above)
+  TraceEvent event;
+};
+
+class Trace {
+ public:
+  // Starts recording into a fresh ring of `capacity` records (rounded up to a
+  // power of two; older records are overwritten when full).
+  static void Enable(size_t capacity = 16384);
+  static void Disable();
+  static bool IsEnabled();
+
+  // Appends an event (no-op when disabled). Safe from any thread, lock-free.
+  static void Record(TraceEvent event, uint64_t thread_id, uint64_t arg);
+
+  // Copies out everything currently recorded, oldest first. Records that were
+  // mid-write during the copy are skipped. Returns the number copied.
+  static size_t Collect(std::vector<TraceRecord>* out);
+
+  // Human-readable rendering of Collect() (one event per line).
+  static std::string Format();
+
+  // Total events recorded since Enable (including overwritten ones).
+  static uint64_t RecordedCount();
+};
+
+const char* TraceEventName(TraceEvent event);
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CORE_TRACE_H_

@@ -1,0 +1,85 @@
+// RAII guards for the synchronization variables.
+//
+// The C API is strictly bracketing ("it is an error for a thread to release a
+// lock not held by the thread"); these guards make the brackets impossible to
+// mismatch in C++ code.
+
+#ifndef SUNMT_SRC_CXX_GUARDS_H_
+#define SUNMT_SRC_CXX_GUARDS_H_
+
+#include "src/sync/sync.h"
+
+namespace sunmt {
+
+class MutexGuard {
+ public:
+  explicit MutexGuard(mutex_t& mu) : mu_(mu) { mutex_enter(&mu_); }
+  ~MutexGuard() { mutex_exit(&mu_); }
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  mutex_t& mu_;
+};
+
+// Tries the lock; check `ok()` before relying on exclusion.
+class TryMutexGuard {
+ public:
+  explicit TryMutexGuard(mutex_t& mu) : mu_(mu), held_(mutex_tryenter(&mu) != 0) {}
+  ~TryMutexGuard() {
+    if (held_) {
+      mutex_exit(&mu_);
+    }
+  }
+  TryMutexGuard(const TryMutexGuard&) = delete;
+  TryMutexGuard& operator=(const TryMutexGuard&) = delete;
+
+  bool ok() const { return held_; }
+  explicit operator bool() const { return held_; }
+
+ private:
+  mutex_t& mu_;
+  bool held_;
+};
+
+class ReaderGuard {
+ public:
+  explicit ReaderGuard(rwlock_t& rw) : rw_(rw) { rw_enter(&rw_, RW_READER); }
+  ~ReaderGuard() { rw_exit(&rw_); }
+  ReaderGuard(const ReaderGuard&) = delete;
+  ReaderGuard& operator=(const ReaderGuard&) = delete;
+
+ private:
+  rwlock_t& rw_;
+};
+
+class WriterGuard {
+ public:
+  explicit WriterGuard(rwlock_t& rw) : rw_(rw) { rw_enter(&rw_, RW_WRITER); }
+  ~WriterGuard() { rw_exit(&rw_); }
+  WriterGuard(const WriterGuard&) = delete;
+  WriterGuard& operator=(const WriterGuard&) = delete;
+
+  // rw_downgrade(): the guard keeps releasing correctly afterwards because
+  // rw_exit handles both reader and writer holds.
+  void Downgrade() { rw_downgrade(&rw_); }
+
+ private:
+  rwlock_t& rw_;
+};
+
+// Semaphore token held for a scope (P on entry, V on exit).
+class SemaGuard {
+ public:
+  explicit SemaGuard(sema_t& sema) : sema_(sema) { sema_p(&sema_); }
+  ~SemaGuard() { sema_v(&sema_); }
+  SemaGuard(const SemaGuard&) = delete;
+  SemaGuard& operator=(const SemaGuard&) = delete;
+
+ private:
+  sema_t& sema_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CXX_GUARDS_H_

@@ -1,0 +1,103 @@
+// Modern-C++ convenience wrapper over the Figure-4 thread interface.
+//
+// The C-style API is the reproduction artifact; this header is what a C++
+// codebase would actually write against: an RAII joinable thread taking any
+// callable, with the paper's knobs (bound/unbound, stack size, priority)
+// exposed as options. Join-on-destruction, move-only, std::jthread-flavored.
+
+#ifndef SUNMT_SRC_CXX_THREAD_H_
+#define SUNMT_SRC_CXX_THREAD_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/core/thread.h"
+#include "src/util/check.h"
+
+namespace sunmt {
+
+class Thread {
+ public:
+  struct Options {
+    bool bound = false;       // THREAD_BIND_LWP: a dedicated LWP
+    bool new_lwp = false;     // THREAD_NEW_LWP: also grow the pool
+    bool start_stopped = false;  // THREAD_STOP: run only after Continue()
+    size_t stack_size = 0;    // 0 = cached default stack
+    int priority = -1;        // -1 = inherit from the creator
+  };
+
+  Thread() = default;
+
+  // Spawns a joinable thread running `fn`.
+  template <typename Fn>
+  explicit Thread(Fn&& fn, const Options& options = {}) {
+    auto* closure = new std::function<void()>(std::forward<Fn>(fn));
+    int flags = THREAD_WAIT;
+    if (options.bound) {
+      flags |= THREAD_BIND_LWP;
+    }
+    if (options.new_lwp) {
+      flags |= THREAD_NEW_LWP;
+    }
+    if (options.start_stopped) {
+      flags |= THREAD_STOP;
+    }
+    id_ = thread_create(nullptr, options.stack_size, &Trampoline, closure, flags);
+    if (id_ == kInvalidThreadId) {
+      delete closure;
+      SUNMT_PANIC("sunmt::Thread creation failed");
+    }
+    if (options.priority >= 0) {
+      thread_priority(id_, options.priority);
+    }
+  }
+
+  Thread(Thread&& other) noexcept : id_(std::exchange(other.id_, kInvalidThreadId)) {}
+  Thread& operator=(Thread&& other) noexcept {
+    if (this != &other) {
+      JoinIfJoinable();
+      id_ = std::exchange(other.id_, kInvalidThreadId);
+    }
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  // jthread semantics: joins on destruction rather than aborting.
+  ~Thread() { JoinIfJoinable(); }
+
+  bool Joinable() const { return id_ != kInvalidThreadId; }
+  thread_id_t id() const { return id_; }
+
+  // Blocks until the thread exits. Must be joinable.
+  void Join() {
+    SUNMT_CHECK(Joinable());
+    thread_id_t got = thread_wait(id_);
+    SUNMT_CHECK(got == id_);
+    id_ = kInvalidThreadId;
+  }
+
+  // thread_stop / thread_continue pass-throughs.
+  void Stop() { SUNMT_CHECK(thread_stop(id_) == 0); }
+  void Continue() { SUNMT_CHECK(thread_continue(id_) == 0); }
+  int SetPriority(int priority) { return thread_priority(id_, priority); }
+
+ private:
+  static void Trampoline(void* arg) {
+    auto* closure = static_cast<std::function<void()>*>(arg);
+    (*closure)();
+    delete closure;
+  }
+
+  void JoinIfJoinable() {
+    if (Joinable()) {
+      Join();
+    }
+  }
+
+  thread_id_t id_ = kInvalidThreadId;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CXX_THREAD_H_

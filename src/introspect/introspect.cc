@@ -1,0 +1,152 @@
+#include "src/introspect/introspect.h"
+
+#include <cinttypes>
+
+#include "src/core/runtime.h"
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/lwp/lwp.h"
+
+namespace sunmt {
+namespace {
+
+const char* StateName(ThreadState state) {
+  switch (state) {
+    case ThreadState::kEmbryo:
+      return "EMBRYO";
+    case ThreadState::kRunnable:
+      return "RUNNABLE";
+    case ThreadState::kRunning:
+      return "RUNNING";
+    case ThreadState::kBlocked:
+      return "BLOCKED";
+    case ThreadState::kStopped:
+      return "STOPPED";
+    case ThreadState::kZombie:
+      return "ZOMBIE";
+    case ThreadState::kDead:
+      return "DEAD";
+  }
+  return "?";
+}
+
+struct LwpCollect {
+  std::vector<LwpSnapshot>* out;
+};
+
+void CollectLwp(Lwp* lwp, void* cookie) {
+  auto* collect = static_cast<LwpCollect*>(cookie);
+  LwpSnapshot snap;
+  snap.id = lwp->id();
+  snap.pool = lwp->pool != nullptr;
+  snap.in_kernel_wait = lwp->InKernelWait();
+  snap.indefinite_wait = lwp->InIndefiniteWait();
+  Tcb* t = static_cast<Tcb*>(lwp->current_thread);
+  snap.running_thread = t != nullptr ? t->id : 0;
+  LwpUsage usage = lwp->Usage();
+  snap.user_ns = usage.user_ns;
+  snap.system_wait_ns = usage.system_wait_ns;
+  snap.kernel_calls = usage.kernel_calls;
+  collect->out->push_back(snap);
+}
+
+}  // namespace
+
+void SnapshotThreads(std::vector<ThreadSnapshot>* out) {
+  out->clear();
+  if (!Runtime::IsInitialized()) {
+    return;
+  }
+  Runtime::Get().ForEachThread([out](Tcb* t) {
+    ThreadSnapshot snap;
+    snap.id = t->id;
+    {
+      SpinLockGuard guard(t->state_lock);
+      snprintf(snap.name, sizeof(snap.name), "%s", t->name);
+    }
+    snap.state = StateName(t->state.load(std::memory_order_acquire));
+    snap.priority = t->priority.load(std::memory_order_relaxed);
+    snap.bound = t->IsBound();
+    snap.waitable = t->waitable;
+    snap.stop_requested = t->stop_requested.load(std::memory_order_relaxed);
+    Lwp* lwp = t->IsBound() ? t->bound_lwp : t->lwp;
+    snap.lwp_id = lwp != nullptr ? lwp->id() : -1;
+    snap.pending_signals = t->pending_signals.load(std::memory_order_relaxed);
+    snap.sigmask = t->sigmask.load(std::memory_order_relaxed);
+    out->push_back(snap);
+  });
+}
+
+void SnapshotLwps(std::vector<LwpSnapshot>* out) {
+  out->clear();
+  LwpCollect collect{out};
+  LwpRegistry::ForEach(&CollectLwp, &collect);
+}
+
+SchedStatsSnapshot SnapshotSchedStats() {
+  SchedStats& stats = GlobalSchedStats();
+  SchedStatsSnapshot snap;
+  snap.dispatches = stats.dispatches.load(std::memory_order_relaxed);
+  snap.yields = stats.yields.load(std::memory_order_relaxed);
+  snap.preemptions = stats.preemptions.load(std::memory_order_relaxed);
+  snap.blocks = stats.blocks.load(std::memory_order_relaxed);
+  snap.wakes = stats.wakes.load(std::memory_order_relaxed);
+  snap.threads_created = stats.threads_created.load(std::memory_order_relaxed);
+  snap.threads_exited = stats.threads_exited.load(std::memory_order_relaxed);
+  snap.adoptions = stats.adoptions.load(std::memory_order_relaxed);
+  snap.sigwaiting_events =
+      Runtime::IsInitialized() ? Runtime::Get().sigwaiting_count() : 0;
+  return snap;
+}
+
+std::string FormatProcessState() {
+  std::vector<ThreadSnapshot> threads;
+  std::vector<LwpSnapshot> lwps;
+  SnapshotThreads(&threads);
+  SnapshotLwps(&lwps);
+
+  std::string out;
+  char line[160];
+  snprintf(line, sizeof(line), "THREADS (%zu)\n", threads.size());
+  out += line;
+  out += "  TID      NAME             STATE     PRI  BOUND  WAIT  LWP  PENDING\n";
+  for (const ThreadSnapshot& t : threads) {
+    snprintf(line, sizeof(line),
+             "  %-8" PRIu64 " %-16s %-9s %-4d %-6s %-5s %-4d 0x%" PRIx64 "\n", t.id,
+             t.name[0] != '\0' ? t.name : "-", t.state, t.priority,
+             t.bound ? "yes" : "no", t.waitable ? "yes" : "no", t.lwp_id,
+             t.pending_signals);
+    out += line;
+  }
+  snprintf(line, sizeof(line), "LWPS (%zu)\n", lwps.size());
+  out += line;
+  out += "  LWP  POOL  KWAIT  INDEF  TID      USER_MS  KCALLS\n";
+  for (const LwpSnapshot& l : lwps) {
+    snprintf(line, sizeof(line),
+             "  %-4d %-5s %-6s %-6s %-8" PRIu64 " %-8.1f %" PRIu64 "\n", l.id,
+             l.pool ? "yes" : "no", l.in_kernel_wait ? "yes" : "no",
+             l.indefinite_wait ? "yes" : "no", l.running_thread,
+             static_cast<double>(l.user_ns) / 1e6, l.kernel_calls);
+    out += line;
+  }
+  SchedStatsSnapshot stats = SnapshotSchedStats();
+  snprintf(line, sizeof(line),
+           "SCHED dispatches=%" PRIu64 " yields=%" PRIu64 " preempt=%" PRIu64
+           " blocks=%" PRIu64 " wakes=%" PRIu64 "\n",
+           stats.dispatches, stats.yields, stats.preemptions, stats.blocks, stats.wakes);
+  out += line;
+  snprintf(line, sizeof(line),
+           "      created=%" PRIu64 " exited=%" PRIu64 " adoptions=%" PRIu64
+           " sigwaiting=%" PRIu64 "\n",
+           stats.threads_created, stats.threads_exited, stats.adoptions,
+           stats.sigwaiting_events);
+  out += line;
+  return out;
+}
+
+void DumpProcessState(FILE* stream) {
+  std::string s = FormatProcessState();
+  fwrite(s.data(), 1, s.size(), stream);
+}
+
+}  // namespace sunmt

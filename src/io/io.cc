@@ -1,0 +1,68 @@
+#include "src/io/io.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/lwp/kernel_wait.h"
+#include "src/tls/thread_local.h"
+
+namespace sunmt {
+namespace {
+
+// The per-thread errno copy: registered at static-initialization time, i.e.
+// before the TLS layout freezes — the paper's `#pragma unshared errno`.
+ThreadLocal<int> tls_errno;
+
+// Saves the host errno into the thread's private copy after a failed call.
+template <typename T>
+T SaveErrno(T result) {
+  if (result < 0) {
+    tls_errno.Get() = errno;
+  }
+  return result;
+}
+
+}  // namespace
+
+int& thread_errno() { return tls_errno.Get(); }
+
+ssize_t io_read(int fd, void* buf, size_t count) {
+  KernelWaitScope wait(/*indefinite=*/true);
+  return SaveErrno(read(fd, buf, count));
+}
+
+ssize_t io_write(int fd, const void* buf, size_t count) {
+  KernelWaitScope wait(/*indefinite=*/true);
+  return SaveErrno(write(fd, buf, count));
+}
+
+ssize_t io_pread(int fd, void* buf, size_t count, off_t offset) {
+  KernelWaitScope wait(/*indefinite=*/false);
+  return SaveErrno(pread(fd, buf, count, offset));
+}
+
+ssize_t io_pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  KernelWaitScope wait(/*indefinite=*/false);
+  return SaveErrno(pwrite(fd, buf, count, offset));
+}
+
+int io_poll(struct pollfd* fds, unsigned long nfds, int timeout_ms) {
+  KernelWaitScope wait(/*indefinite=*/true);
+  return SaveErrno(poll(fds, nfds, timeout_ms));
+}
+
+int io_accept(int sockfd) {
+  KernelWaitScope wait(/*indefinite=*/true);
+  return SaveErrno(accept(sockfd, nullptr, nullptr));
+}
+
+void io_sleep_ns(int64_t ns) {
+  KernelWaitScope wait(/*indefinite=*/true);
+  struct timespec req = {static_cast<time_t>(ns / 1000000000),
+                         static_cast<long>(ns % 1000000000)};
+  nanosleep(&req, nullptr);
+}
+
+}  // namespace sunmt

@@ -1,0 +1,20 @@
+#include "src/ipc/fork1.h"
+
+#include <unistd.h>
+
+#include "src/core/runtime.h"
+
+namespace sunmt {
+
+pid_t fork1() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    // Child: only this kernel thread survived the fork. Abandon the inherited
+    // runtime (its LWPs are gone) and rebuild lazily; this thread re-adopts as
+    // the initial thread on its next package call.
+    Runtime::ResetAfterFork();
+  }
+  return pid;
+}
+
+}  // namespace sunmt

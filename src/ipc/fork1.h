@@ -1,0 +1,29 @@
+// fork1() — fork only the calling thread.
+//
+// The paper defines two forks: fork(), which duplicates every LWP and thread, and
+// fork1(), which duplicates only the caller — "much more efficient [for exec]
+// because there is no need to duplicate all the LWPs". We implement fork1()
+// faithfully (it is what POSIX fork() became); fork-all would require kernel
+// support to recreate the other LWPs in the child and is documented as out of
+// scope (DESIGN.md substitution table).
+//
+// The paper's fork1() hazards apply verbatim here and are the application's to
+// manage: only the calling thread exists in the child; locks held by other
+// threads at fork time stay locked forever in the child's copy of memory; locks
+// in MAP_SHARED memory remain live in *both* processes.
+
+#ifndef SUNMT_SRC_IPC_FORK1_H_
+#define SUNMT_SRC_IPC_FORK1_H_
+
+#include <sys/types.h>
+
+namespace sunmt {
+
+// Returns the child pid in the parent, 0 in the child (where the threads package
+// has been reinitialized with the calling thread as the only thread), or -1 on
+// failure (errno set by fork).
+pid_t fork1();
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_IPC_FORK1_H_

@@ -1,0 +1,130 @@
+#include "src/ipc/shared_arena.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/util/check.h"
+
+namespace sunmt {
+namespace {
+
+void* MapSharedFd(int fd, size_t size) {
+  void* base = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    SUNMT_PANIC_ERRNO("shared arena mmap failed", errno);
+  }
+  return base;
+}
+
+}  // namespace
+
+SharedArena& SharedArena::operator=(SharedArena&& other) noexcept {
+  if (this != &other) {
+    if (unmap_ && base_ != nullptr) {
+      munmap(base_, size_);
+    }
+    base_ = other.base_;
+    size_ = other.size_;
+    unmap_ = other.unmap_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+    other.unmap_ = false;
+  }
+  return *this;
+}
+
+SharedArena::~SharedArena() {
+  if (unmap_ && base_ != nullptr) {
+    munmap(base_, size_);
+  }
+}
+
+SharedArena SharedArena::CreateAnonymous(size_t size) {
+  SUNMT_CHECK(size > sizeof(Header));
+  void* base =
+      mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    SUNMT_PANIC_ERRNO("anonymous shared arena mmap failed", errno);
+  }
+  SharedArena arena(base, size, /*unmap_on_destroy=*/true);
+  arena.header()->cursor.store(0, std::memory_order_relaxed);
+  arena.header()->magic.store(kMagic, std::memory_order_release);
+  return arena;
+}
+
+SharedArena SharedArena::OpenNamed(const char* name, size_t size, bool create) {
+  SUNMT_CHECK(size > sizeof(Header));
+  int flags = O_RDWR | (create ? O_CREAT : 0);
+  int fd = shm_open(name, flags, 0600);
+  if (fd < 0) {
+    SUNMT_PANIC_ERRNO("shm_open failed", errno);
+  }
+  if (create && ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    SUNMT_PANIC_ERRNO("shm ftruncate failed", errno);
+  }
+  void* base = MapSharedFd(fd, size);
+  close(fd);
+  SharedArena arena(base, size, /*unmap_on_destroy=*/true);
+  if (create) {
+    arena.header()->cursor.store(0, std::memory_order_relaxed);
+    arena.header()->magic.store(kMagic, std::memory_order_release);
+  } else {
+    SUNMT_CHECK(arena.header()->magic.load(std::memory_order_acquire) == kMagic);
+  }
+  return arena;
+}
+
+SharedArena SharedArena::MapFile(const char* path, size_t size, bool create) {
+  SUNMT_CHECK(size > sizeof(Header));
+  int flags = O_RDWR | (create ? O_CREAT : 0);
+  int fd = open(path, flags, 0600);
+  if (fd < 0) {
+    SUNMT_PANIC_ERRNO("arena file open failed", errno);
+  }
+  if (create && ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    SUNMT_PANIC_ERRNO("arena file ftruncate failed", errno);
+  }
+  void* base = MapSharedFd(fd, size);
+  close(fd);
+  SharedArena arena(base, size, /*unmap_on_destroy=*/true);
+  if (create) {
+    arena.header()->cursor.store(0, std::memory_order_relaxed);
+    arena.header()->magic.store(kMagic, std::memory_order_release);
+  } else {
+    SUNMT_CHECK(arena.header()->magic.load(std::memory_order_acquire) == kMagic);
+  }
+  return arena;
+}
+
+void* SharedArena::data() const {
+  return static_cast<char*>(base_) + sizeof(Header);
+}
+
+size_t SharedArena::data_size() const { return size_ - sizeof(Header); }
+
+size_t SharedArena::Alloc(size_t size, size_t align) {
+  SUNMT_CHECK(align != 0 && (align & (align - 1)) == 0);
+  Header* h = header();
+  for (;;) {
+    uint64_t cursor = h->cursor.load(std::memory_order_acquire);
+    uint64_t offset = (cursor + align - 1) & ~(static_cast<uint64_t>(align) - 1);
+    uint64_t end = offset + size;
+    SUNMT_CHECK(end <= data_size());
+    if (h->cursor.compare_exchange_weak(cursor, end, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      return offset;
+    }
+  }
+}
+
+void SharedArena::Unlink(const char* name_or_path) {
+  if (shm_unlink(name_or_path) != 0) {
+    unlink(name_or_path);
+  }
+}
+
+}  // namespace sunmt

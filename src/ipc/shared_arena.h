@@ -1,0 +1,88 @@
+// Shared-memory arenas for cross-process synchronization.
+//
+// The paper: "threads in different processes can synchronize with each other via
+// synchronization variables placed in shared memory ... synchronization variables
+// can also be placed in files and have lifetimes beyond that of the creating
+// process" (the database-record-lock example). A SharedArena is such a mapping:
+// anonymous (inherited across fork), POSIX-named (shm_open), or file-backed.
+//
+// Variables are placed with Alloc(), whose bump cursor lives *inside* the mapping
+// so every process placing variables sees the same layout. Mappings land at
+// different virtual addresses in different processes; the THREAD_SYNC_SHARED
+// sync variants are address-free, so that is fine.
+
+#ifndef SUNMT_SRC_IPC_SHARED_ARENA_H_
+#define SUNMT_SRC_IPC_SHARED_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sunmt {
+
+class SharedArena {
+ public:
+  SharedArena() = default;
+
+  // Anonymous MAP_SHARED mapping: shared with children across fork()/fork1().
+  static SharedArena CreateAnonymous(size_t size);
+
+  // POSIX shared-memory object. `create` truncates/initializes; otherwise the
+  // object must exist and already be initialized.
+  static SharedArena OpenNamed(const char* name, size_t size, bool create);
+
+  // File-backed mapping (the "synchronization variables in files" case).
+  static SharedArena MapFile(const char* path, size_t size, bool create);
+
+  SharedArena(SharedArena&& other) noexcept { *this = static_cast<SharedArena&&>(other); }
+  SharedArena& operator=(SharedArena&& other) noexcept;
+  SharedArena(const SharedArena&) = delete;
+  SharedArena& operator=(const SharedArena&) = delete;
+  ~SharedArena();
+
+  bool valid() const { return base_ != nullptr; }
+  size_t size() const { return size_; }
+
+  // Usable bytes start after the arena header.
+  void* data() const;
+  size_t data_size() const;
+
+  // Allocates `size` bytes aligned to `align` from the shared bump cursor and
+  // returns the offset (stable across processes). Panics when full.
+  size_t Alloc(size_t size, size_t align);
+
+  // Typed accessors by offset.
+  template <typename T>
+  T* At(size_t offset) const {
+    return reinterpret_cast<T*>(static_cast<char*>(data()) + offset);
+  }
+
+  // Convenience: allocate and return a zeroed T in shared memory.
+  template <typename T>
+  T* New() {
+    return At<T>(Alloc(sizeof(T), alignof(T)));
+  }
+
+  // Removes a named object / file created earlier (best effort).
+  static void Unlink(const char* name_or_path);
+
+ private:
+  struct Header {
+    std::atomic<uint64_t> magic;
+    std::atomic<uint64_t> cursor;  // offset into the data region
+  };
+  static constexpr uint64_t kMagic = 0x53554e4d54415231ull;  // "SUNMTAR1"
+
+  SharedArena(void* base, size_t size, bool unmap_on_destroy)
+      : base_(base), size_(size), unmap_(unmap_on_destroy) {}
+
+  Header* header() const { return static_cast<Header*>(base_); }
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  bool unmap_ = false;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_IPC_SHARED_ARENA_H_

@@ -1,0 +1,36 @@
+// RAII bracket for operations that block the current LWP in the (host) kernel.
+//
+// "When a thread executes a kernel call, it remains bound to the same lightweight
+// process for the duration of the kernel call." Process-shared sync waits and the
+// blocking I/O wrappers use this scope; indefinite waits make the LWP eligible for
+// the SIGWAITING condition.
+
+#ifndef SUNMT_SRC_LWP_KERNEL_WAIT_H_
+#define SUNMT_SRC_LWP_KERNEL_WAIT_H_
+
+#include "src/lwp/lwp.h"
+
+namespace sunmt {
+
+class KernelWaitScope {
+ public:
+  explicit KernelWaitScope(bool indefinite) : lwp_(Lwp::Current()) {
+    if (lwp_ != nullptr) {
+      lwp_->EnterKernelWait(indefinite);
+    }
+  }
+  ~KernelWaitScope() {
+    if (lwp_ != nullptr) {
+      lwp_->ExitKernelWait();
+    }
+  }
+  KernelWaitScope(const KernelWaitScope&) = delete;
+  KernelWaitScope& operator=(const KernelWaitScope&) = delete;
+
+ private:
+  Lwp* lwp_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_LWP_KERNEL_WAIT_H_

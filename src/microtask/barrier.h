@@ -1,0 +1,61 @@
+// A sense-reversing barrier for gang-scheduled computations.
+//
+// Fine-grain parallel codes (the paper's gang-scheduling clientele) synchronize
+// phases with barriers, not sleep locks: when the gang really runs together, a
+// short spin beats a trip through any scheduler. This barrier spins briefly and
+// then falls back to a futex so it also behaves when the gang is descheduled.
+// Zero-initialized state is NOT sufficient here (participant count is required),
+// so it takes a constructor — it is a computation-structure, not a
+// synchronization variable in the paper's mapped-memory sense.
+
+#ifndef SUNMT_SRC_MICROTASK_BARRIER_H_
+#define SUNMT_SRC_MICROTASK_BARRIER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/futex.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+class GangBarrier {
+ public:
+  explicit GangBarrier(int participants) : participants_(participants) {}
+  GangBarrier(const GangBarrier&) = delete;
+  GangBarrier& operator=(const GangBarrier&) = delete;
+
+  // Blocks until all participants arrive. Returns true on exactly one
+  // participant per phase (the "serial" one), false on the others.
+  bool Arrive() {
+    uint32_t my_phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_release);
+      FutexWake(&phase_, participants_);
+      return true;
+    }
+    // Short bounded spin (the gang usually runs together), then futex: on an
+    // oversubscribed machine the partner needs our CPU, so park quickly.
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == my_phase) {
+      if (++spins < 256) {
+        CpuRelax();
+      } else {
+        FutexWait(&phase_, my_phase);
+      }
+    }
+    return false;
+  }
+
+  uint64_t phases_completed() const { return phase_.load(std::memory_order_relaxed); }
+
+ private:
+  const int participants_;
+  std::atomic<int> arrived_{0};
+  std::atomic<uint32_t> phase_{0};
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_MICROTASK_BARRIER_H_

@@ -1,0 +1,123 @@
+#include "src/microtask/microtask.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/lwp/kernel_wait.h"
+#include "src/util/check.h"
+#include "src/util/futex.h"
+
+namespace sunmt {
+namespace {
+
+int OnlineCpus() {
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+// Distinct id space from the threads package's LWPs (introspection clarity).
+std::atomic<int> g_next_microtask_lwp_id{20000};
+
+}  // namespace
+
+MicrotaskPool::MicrotaskPool(int nlwps) {
+  int count = nlwps > 0 ? nlwps : OnlineCpus();
+  workers_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    auto* lwp = new Lwp(g_next_microtask_lwp_id.fetch_add(1, std::memory_order_relaxed));
+    workers_.push_back(lwp);
+    lwp->Start(&MicrotaskPool::WorkerMain, this);
+  }
+}
+
+MicrotaskPool::~MicrotaskPool() {
+  shutdown_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (Lwp* lwp : workers_) {
+    lwp->Unpark();
+  }
+  for (Lwp* lwp : workers_) {
+    lwp->Join();
+    delete lwp;
+  }
+}
+
+void MicrotaskPool::WorkerMain(Lwp* self, void* arg) {
+  static_cast<MicrotaskPool*>(arg)->WorkerLoop(self);
+}
+
+void MicrotaskPool::WorkerLoop(Lwp* self) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    // Wait for new work (or shutdown). Unpark tokens cannot be lost, so a
+    // publish that races with this check still wakes us.
+    while (epoch_.load(std::memory_order_acquire) == seen_epoch) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return;
+      }
+      self->Park();
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    seen_epoch = epoch_.load(std::memory_order_acquire);
+
+    // Chunked self-scheduling over [begin, end).
+    const Work& work = work_;
+    for (;;) {
+      int64_t i = cursor_.fetch_add(work.grain, std::memory_order_acq_rel);
+      if (i >= work.end) {
+        break;
+      }
+      chunks_.fetch_add(1, std::memory_order_relaxed);
+      int64_t limit = std::min(i + work.grain, work.end);
+      for (int64_t iter = i; iter < limit; ++iter) {
+        work.body(iter, work.cookie);
+      }
+    }
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_seq_.fetch_add(1, std::memory_order_release);
+      FutexWake(&done_seq_, 1);
+    }
+  }
+}
+
+void MicrotaskPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                                void (*body)(int64_t, void*), void* cookie) {
+  SUNMT_CHECK(body != nullptr);
+  if (begin >= end) {
+    return;
+  }
+  if (grain <= 0) {
+    // Automatic grain: ~8 chunks per worker to balance without much overhead.
+    int64_t span = end - begin;
+    grain = std::max<int64_t>(1, span / (static_cast<int64_t>(workers_.size()) * 8));
+  }
+  work_ = {begin, end, grain, body, cookie};
+  cursor_.store(begin, std::memory_order_relaxed);
+  active_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  uint32_t done_before = done_seq_.load(std::memory_order_acquire);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (Lwp* lwp : workers_) {
+    lwp->Unpark();
+  }
+  // Block until the gang finishes. The caller's LWP is in an indefinite kernel
+  // wait (it could be a bound sunmt thread), so SIGWAITING accounting applies.
+  KernelWaitScope wait(/*indefinite=*/true);
+  while (done_seq_.load(std::memory_order_acquire) == done_before) {
+    FutexWait(&done_seq_, done_before);
+  }
+}
+
+void MicrotaskPool::EnableGangClass() {
+  int ncpus = OnlineCpus();
+  int cpu = 0;
+  for (Lwp* lwp : workers_) {
+    lwp->SetScheduling(SchedClass::kGang, 0);
+    lwp->BindToCpu(cpu % ncpus);
+    ++cpu;
+  }
+}
+
+}  // namespace sunmt

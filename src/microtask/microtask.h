@@ -1,0 +1,75 @@
+// Micro-tasking: loop-level parallelism built directly on LWPs.
+//
+// The paper: "Some languages define concurrency mechanisms that are different
+// from threads. An example is a Fortran compiler that provides loop level
+// parallelism. In such cases, the language library may implement its own notion
+// of concurrency using LWPs." And in the comparison section: "a micro-tasking
+// Fortran run-time library relies on kernel-supported threads that are scheduled
+// on processors as a group."
+//
+// MicrotaskPool is that language library: it owns a gang of raw LWPs (no
+// sunmt threads involved), partitions iteration spaces across them with chunked
+// self-scheduling, and optionally marks the gang with the kGang scheduling class
+// and binds members to CPUs ("the LWP may also ask to be bound to a CPU").
+
+#ifndef SUNMT_SRC_MICROTASK_MICROTASK_H_
+#define SUNMT_SRC_MICROTASK_MICROTASK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/lwp/lwp.h"
+
+namespace sunmt {
+
+class MicrotaskPool {
+ public:
+  // Creates a pool of `nlwps` worker LWPs (0 = one per online CPU).
+  explicit MicrotaskPool(int nlwps = 0);
+  ~MicrotaskPool();
+  MicrotaskPool(const MicrotaskPool&) = delete;
+  MicrotaskPool& operator=(const MicrotaskPool&) = delete;
+
+  // Runs body(i, cookie) for every i in [begin, end), dynamically chunked
+  // across the pool (`grain` iterations per grab; 0 = automatic). Blocks the
+  // caller until the loop completes. Not reentrant.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   void (*body)(int64_t i, void* cookie), void* cookie);
+
+  // Marks every member LWP with the gang scheduling class and (best effort)
+  // binds member k to CPU k % ncpus — the paper's fine-grain-parallelism setup.
+  void EnableGangClass();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Total chunks dispatched (observability for tests/benches).
+  uint64_t chunks_dispatched() const {
+    return chunks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Work {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    void (*body)(int64_t, void*) = nullptr;
+    void* cookie = nullptr;
+  };
+
+  static void WorkerMain(Lwp* self, void* arg);
+  void WorkerLoop(Lwp* self);
+
+  std::vector<Lwp*> workers_;
+  Work work_;
+  std::atomic<uint64_t> epoch_{0};     // bumped to publish new work
+  std::atomic<int64_t> cursor_{0};     // next unclaimed iteration
+  std::atomic<int> active_{0};         // workers still in the current loop
+  std::atomic<uint32_t> done_seq_{0};  // futex word: completion signal
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> chunks_{0};
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_MICROTASK_MICROTASK_H_

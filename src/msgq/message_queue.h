@@ -1,0 +1,89 @@
+// Bounded message queues, within a process or between processes.
+//
+// The paper's server motivation ("a database system may have many user
+// interactions in progress...; a network server may indirectly need its own
+// service") wants a mailbox between request producers and handler threads.
+// This queue is that mailbox, built entirely from the public synchronization
+// API — two counting semaphores (slots/items) and a mutex around the ring —
+// so the THREAD_SYNC_SHARED variant works across processes when the queue is
+// placed in a SharedArena (the layout is address-free).
+//
+// Messages are byte strings up to max_message_size; Recv returns the sender's
+// exact length. MPMC-safe.
+
+#ifndef SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_
+#define SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sync/sync.h"
+
+namespace sunmt {
+
+class MessageQueue {
+ public:
+  // Bytes of backing memory a queue with this geometry needs.
+  static size_t FootprintBytes(uint32_t max_message_size, uint32_t capacity);
+
+  // Constructs a queue in caller-provided zeroed memory of at least
+  // FootprintBytes(...) (e.g. from SharedArena::Alloc). `sync_type` is 0 for
+  // process-local or THREAD_SYNC_SHARED for cross-process queues. Returns
+  // nullptr on bad arguments.
+  static MessageQueue* CreateAt(void* memory, uint32_t max_message_size,
+                                uint32_t capacity, int sync_type);
+
+  // Re-binds to a queue previously created in shared memory (validates the
+  // header). The same bytes mapped in another process are the same queue.
+  static MessageQueue* OpenAt(void* memory);
+
+  // ---- Sending -------------------------------------------------------------
+  // Blocks while the queue is full. Returns false only for len > max size.
+  bool Send(const void* data, size_t len);
+  // Non-blocking: false if full (or len too big).
+  bool TrySend(const void* data, size_t len);
+  // Bounded: false on timeout or len too big.
+  bool SendTimed(const void* data, size_t len, int64_t timeout_ns);
+
+  // ---- Receiving -------------------------------------------------------------
+  // Blocks while empty. Copies at most buf_size bytes (truncating) and returns
+  // the message's original length.
+  size_t Recv(void* buf, size_t buf_size);
+  // Non-blocking: returns SIZE_MAX if empty.
+  size_t TryRecv(void* buf, size_t buf_size);
+  // Bounded: returns SIZE_MAX on timeout.
+  size_t RecvTimed(void* buf, size_t buf_size, int64_t timeout_ns);
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t max_message_size() const { return max_message_size_; }
+  // Messages currently queued (racy snapshot).
+  uint32_t ApproxDepth();
+
+ private:
+  MessageQueue() = default;
+
+  struct Slot {
+    uint32_t len;
+    // max_message_size bytes of payload follow
+  };
+
+  static constexpr uint64_t kMagic = 0x53554e4d54515545ull;  // "SUNMTQUE"
+
+  char* SlotAt(uint32_t index);
+  void Enqueue(const void* data, size_t len);
+  size_t Dequeue(void* buf, size_t buf_size);
+
+  uint64_t magic_ = 0;
+  uint32_t max_message_size_ = 0;
+  uint32_t capacity_ = 0;
+  sema_t free_slots_;
+  sema_t queued_items_;
+  mutex_t ring_lock_;
+  uint32_t head_ = 0;  // guarded by ring_lock_
+  uint32_t tail_ = 0;
+  // slots follow in the same allocation
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_

@@ -1,0 +1,95 @@
+// Condition variables.
+//
+// "cv_wait() blocks until the condition is signaled. It releases the associated
+// mutex before blocking, and reacquires it before returning. ... the condition
+// that caused the wait must be re-tested."
+//
+// Local variant: the waiter enqueues under the condvar's qlock *before* dropping
+// the mutex, so a signal between unlock and block cannot be lost. Shared variant:
+// futex sequence-word protocol (address-free; may wake spuriously — the mandated
+// re-test loop absorbs that).
+
+#include "src/sync/sync.h"
+
+#include <climits>
+
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/sync/waitq.h"
+#include "src/util/futex.h"
+
+namespace sunmt {
+namespace {
+
+bool IsShared(const condvar_t* cvp) { return (cvp->type & THREAD_SYNC_SHARED) != 0; }
+
+}  // namespace
+
+void cv_init(condvar_t* cvp, int type, void* arg) {
+  (void)arg;
+  cvp->seq.store(0, std::memory_order_relaxed);
+  cvp->type = static_cast<uint32_t>(type);
+  cvp->wait_head = nullptr;
+  cvp->wait_tail = nullptr;
+}
+
+void cv_wait(condvar_t* cvp, mutex_t* mutexp) {
+  if (IsShared(cvp)) {
+    uint32_t seq = cvp->seq.load(std::memory_order_acquire);
+    mutex_exit(mutexp);
+    {
+      KernelWaitScope wait(/*indefinite=*/true);
+      FutexWait(&cvp->seq, seq, /*shared=*/true);
+    }
+    mutex_enter(mutexp);
+    return;
+  }
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  cvp->qlock.Lock();
+  WaitqPush(&cvp->wait_head, &cvp->wait_tail, self);
+  mutex_exit(mutexp);
+  sched::Block(&cvp->qlock);  // releases qlock after the context save
+  mutex_enter(mutexp);
+}
+
+void cv_signal(condvar_t* cvp) {
+  if (IsShared(cvp)) {
+    cvp->seq.fetch_add(1, std::memory_order_release);
+    FutexWake(&cvp->seq, 1, /*shared=*/true);
+    return;
+  }
+  Tcb* waiter = nullptr;
+  {
+    SpinLockGuard guard(cvp->qlock);
+    waiter = WaitqPop(&cvp->wait_head, &cvp->wait_tail);
+  }
+  if (waiter != nullptr) {
+    sched::Wake(waiter);
+  }
+}
+
+void cv_broadcast(condvar_t* cvp) {
+  if (IsShared(cvp)) {
+    cvp->seq.fetch_add(1, std::memory_order_release);
+    FutexWake(&cvp->seq, INT_MAX, /*shared=*/true);
+    return;
+  }
+  // Pop the whole chain under the lock, wake outside it ("causes all threads
+  // blocking on the condition to re-contend for the mutex").
+  Tcb* chain = nullptr;
+  {
+    SpinLockGuard guard(cvp->qlock);
+    chain = cvp->wait_head;
+    cvp->wait_head = nullptr;
+    cvp->wait_tail = nullptr;
+  }
+  while (chain != nullptr) {
+    Tcb* next = chain->wait_next;
+    chain->wait_next = nullptr;
+    sched::Wake(chain);
+    chain = next;
+  }
+}
+
+}  // namespace sunmt

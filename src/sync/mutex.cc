@@ -1,0 +1,194 @@
+// Mutex locks.
+//
+// Variants (paper: "mutual exclusion locks may be implemented as spin locks,
+// sleep locks, or adaptive locks"):
+//   default / SYNC_ADAPTIVE : CAS fast path, bounded spin, then block the thread
+//   SYNC_SPIN               : never blocks the thread; spins with backoff + yield
+//   SYNC_DEBUG              : ownership checking (strict bracketing enforcement)
+//   THREAD_SYNC_SHARED      : futex protocol on the word, usable across processes
+
+#include "src/sync/sync.h"
+
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/sync/waitq.h"
+#include "src/util/check.h"
+#include "src/util/futex.h"
+
+namespace sunmt {
+namespace {
+
+// Shared-variant word protocol: 0 free, 1 held, 2 held with (possible) waiters.
+constexpr uint32_t kFree = 0;
+constexpr uint32_t kHeld = 1;
+constexpr uint32_t kContended = 2;
+
+// Bounded adaptive spin before blocking (tuned small: blocking is cheap here).
+constexpr int kAdaptiveSpins = 128;
+
+bool IsShared(const mutex_t* mp) { return (mp->type & THREAD_SYNC_SHARED) != 0; }
+bool IsSpin(const mutex_t* mp) { return (mp->type & SYNC_SPIN) != 0; }
+bool IsDebug(const mutex_t* mp) { return (mp->type & SYNC_DEBUG) != 0; }
+
+// SYNC_DEBUG deadlock detection: each blocker first publishes its own
+// wait-for edge (seq_cst), then walks the graph (thread -> mutex it blocks on
+// -> that mutex's owner -> ...); reaching ourselves means the cycle is closed.
+// Publish-before-scan with seq_cst ordering guarantees that of the threads
+// closing a cycle, at least one sees the complete cycle and panics instead of
+// deadlocking. The walk only reads SYNC_DEBUG-maintained fields and terminates
+// early on any transient inconsistency — a stable cycle (a true deadlock) is
+// always stable enough to detect.
+void DebugCheckForDeadlock(mutex_t* mp, Tcb* self) {
+  self->waiting_for_mutex.store(mp, std::memory_order_seq_cst);
+  mutex_t* cursor = mp;
+  for (int hops = 0; hops < 64 && cursor != nullptr; ++hops) {
+    Tcb* owner = cursor->owner;
+    if (owner == nullptr) {
+      return;  // lock free or handoff in progress: no stable cycle
+    }
+    if (owner == self) {
+      SUNMT_PANIC("deadlock detected: mutex wait-for cycle (SYNC_DEBUG)");
+    }
+    cursor =
+        static_cast<mutex_t*>(owner->waiting_for_mutex.load(std::memory_order_seq_cst));
+  }
+}
+
+void SharedEnter(mutex_t* mp) {
+  uint32_t cur = kFree;
+  if (mp->word.compare_exchange_strong(cur, kHeld, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    return;
+  }
+  // Contended: the calling thread stays bound to its LWP, which blocks in the
+  // kernel (futex) until the holder — possibly in another process — releases.
+  KernelWaitScope wait(/*indefinite=*/true);
+  while (mp->word.exchange(kContended, std::memory_order_acquire) != kFree) {
+    FutexWait(&mp->word, kContended, /*shared=*/true);
+  }
+}
+
+void SharedExit(mutex_t* mp) {
+  if (mp->word.exchange(kFree, std::memory_order_release) == kContended) {
+    FutexWake(&mp->word, 1, /*shared=*/true);
+  }
+}
+
+void LocalEnter(mutex_t* mp) {
+  uint32_t cur = kFree;
+  if (mp->word.compare_exchange_strong(cur, kHeld, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    return;
+  }
+  if (IsSpin(mp)) {
+    Backoff backoff;
+    int spins = 0;
+    for (;;) {
+      cur = kFree;
+      if (mp->word.compare_exchange_weak(cur, kHeld, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return;
+      }
+      backoff.Pause();
+      // On a single LWP a pure spin would never let the holder run; yield
+      // periodically so the spin variant stays usable there.
+      if (++spins % 64 == 0) {
+        sched::Yield();
+      }
+    }
+  }
+  // Adaptive: spin briefly in the hope the holder is running on another CPU,
+  // then queue and block the thread (the LWP goes on to run other threads).
+  for (int i = 0; i < kAdaptiveSpins; ++i) {
+    cur = kFree;
+    if (mp->word.compare_exchange_weak(cur, kHeld, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    CpuRelax();
+  }
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  mp->qlock.Lock();
+  for (;;) {
+    cur = kFree;
+    if (mp->word.compare_exchange_strong(cur, kHeld, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      mp->qlock.Unlock();
+      return;
+    }
+    if (IsDebug(mp)) {
+      DebugCheckForDeadlock(mp, self);  // publishes the wait-for edge first
+    }
+    WaitqPush(&mp->wait_head, &mp->wait_tail, self);
+    sched::Block(&mp->qlock);  // releases qlock after the context save
+    if (IsDebug(mp)) {
+      self->waiting_for_mutex.store(nullptr, std::memory_order_release);
+    }
+    mp->qlock.Lock();
+  }
+}
+
+void LocalExit(mutex_t* mp) {
+  mp->word.store(kFree, std::memory_order_release);
+  Tcb* waiter = nullptr;
+  {
+    SpinLockGuard guard(mp->qlock);
+    waiter = WaitqPop(&mp->wait_head, &mp->wait_tail);
+  }
+  if (waiter != nullptr) {
+    sched::Wake(waiter);
+  }
+}
+
+}  // namespace
+
+void mutex_init(mutex_t* mp, int type, void* arg) {
+  (void)arg;  // reserved, per the paper's interface
+  mp->word.store(0, std::memory_order_relaxed);
+  mp->type = static_cast<uint32_t>(type);
+  mp->wait_head = nullptr;
+  mp->wait_tail = nullptr;
+  mp->owner = nullptr;
+}
+
+void mutex_enter(mutex_t* mp) {
+  if (IsDebug(mp)) {
+    Tcb* self = sched::CurrentTcbOrAdopt();
+    SUNMT_CHECK(mp->owner != self);  // recursive enter is a bracketing error
+  }
+  if (IsShared(mp)) {
+    SharedEnter(mp);
+  } else {
+    LocalEnter(mp);
+  }
+  if (IsDebug(mp)) {
+    mp->owner = sched::CurrentTcb();
+  }
+}
+
+void mutex_exit(mutex_t* mp) {
+  if (IsDebug(mp)) {
+    // "It is an error for a thread to release a lock not held by the thread."
+    Tcb* self = sched::CurrentTcbOrAdopt();
+    SUNMT_CHECK(mp->owner == self);
+    mp->owner = nullptr;
+  }
+  if (IsShared(mp)) {
+    SharedExit(mp);
+  } else {
+    LocalExit(mp);
+  }
+}
+
+int mutex_tryenter(mutex_t* mp) {
+  uint32_t cur = kFree;
+  bool ok = mp->word.compare_exchange_strong(cur, kHeld, std::memory_order_acquire,
+                                             std::memory_order_relaxed);
+  if (ok && IsDebug(mp)) {
+    mp->owner = sched::CurrentTcbOrAdopt();
+  }
+  return ok ? 1 : 0;
+}
+
+}  // namespace sunmt

@@ -1,0 +1,110 @@
+// Counting semaphores.
+//
+// "They are not as efficient as mutex locks, but they need not be bracketed ...
+// they also contain state so they may be used asynchronously." sema_v() is safe
+// from signal handlers (it never blocks).
+//
+// Local variant: direct hand-off — sema_v() gives the credit to the oldest waiter
+// instead of bumping the count, so a woken thread returns without re-contending.
+// Shared variant: futex protocol on the count word (address-free).
+
+#include "src/sync/sync.h"
+
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/sync/waitq.h"
+#include "src/util/futex.h"
+
+namespace sunmt {
+namespace {
+
+bool IsShared(const sema_t* sp) { return (sp->type & THREAD_SYNC_SHARED) != 0; }
+
+void SharedP(sema_t* sp) {
+  for (;;) {
+    uint32_t cur = sp->count.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (sp->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    KernelWaitScope wait(/*indefinite=*/true);
+    FutexWait(&sp->count, 0, /*shared=*/true);
+  }
+}
+
+void SharedV(sema_t* sp) {
+  sp->count.fetch_add(1, std::memory_order_release);
+  FutexWake(&sp->count, 1, /*shared=*/true);
+}
+
+}  // namespace
+
+void sema_init(sema_t* sp, unsigned int count, int type, void* arg) {
+  (void)arg;
+  sp->count.store(count, std::memory_order_relaxed);
+  sp->type = static_cast<uint32_t>(type);
+  sp->wait_head = nullptr;
+  sp->wait_tail = nullptr;
+}
+
+void sema_p(sema_t* sp) {
+  if (IsShared(sp)) {
+    SharedP(sp);
+    return;
+  }
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  sp->qlock.Lock();
+  uint32_t cur = sp->count.load(std::memory_order_relaxed);
+  if (cur > 0) {
+    sp->count.store(cur - 1, std::memory_order_relaxed);
+    sp->qlock.Unlock();
+    return;
+  }
+  WaitqPush(&sp->wait_head, &sp->wait_tail, self);
+  sched::Block(&sp->qlock);
+  // Woken by sema_v with the credit handed off directly; nothing to re-check.
+}
+
+void sema_v(sema_t* sp) {
+  if (IsShared(sp)) {
+    SharedV(sp);
+    return;
+  }
+  Tcb* waiter = nullptr;
+  {
+    SpinLockGuard guard(sp->qlock);
+    waiter = WaitqPop(&sp->wait_head, &sp->wait_tail);
+    if (waiter == nullptr) {
+      sp->count.store(sp->count.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    }
+  }
+  if (waiter != nullptr) {
+    sched::Wake(waiter);
+  }
+}
+
+int sema_tryp(sema_t* sp) {
+  if (IsShared(sp)) {
+    uint32_t cur = sp->count.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (sp->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        return 1;
+      }
+    }
+    return 0;
+  }
+  SpinLockGuard guard(sp->qlock);
+  uint32_t cur = sp->count.load(std::memory_order_relaxed);
+  if (cur == 0) {
+    return 0;
+  }
+  sp->count.store(cur - 1, std::memory_order_relaxed);
+  return 1;
+}
+
+}  // namespace sunmt

@@ -1,0 +1,128 @@
+// Thread synchronization — the paper's Figure 4, synchronization half.
+//
+// Four facilities: mutex locks, condition variables, counting semaphores, and
+// multiple-readers/single-writer locks. Design rules straight from the paper:
+//
+//  * "Any synchronization variable that is statically or dynamically allocated as
+//    zero may be used immediately without further initialization, and provides
+//    the default implementation variant in the default initial state."
+//  * The programmer picks an implementation variant at init time (spin, adaptive,
+//    debugging, ...) and may bitwise-or THREAD_SYNC_SHARED into the type to share
+//    the variable between processes.
+//  * Process-shared variables are address-free: they may be mapped at different
+//    virtual addresses in different processes (they are built on futex words).
+//  * Process-local variants synchronize entirely in user space — "threads within
+//    a program should not be forced to cross protection boundaries to synchronize"
+//    — blocking a thread, never its LWP (unless the thread is bound).
+//  * While a thread waits on a process-shared variable it is temporarily bound to
+//    its LWP, which blocks in the kernel; such waits feed SIGWAITING.
+
+#ifndef SUNMT_SRC_SYNC_SYNC_H_
+#define SUNMT_SRC_SYNC_SYNC_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+struct Tcb;
+
+// ---- Variant/type flags (or'able; 0 selects every default) -------------------
+enum : int {
+  USYNC_THREAD = 0,            // process-local (default)
+  THREAD_SYNC_SHARED = 0x100,  // usable between processes via shared memory
+  SYNC_SPIN = 0x1,             // mutex: pure spin (never blocks the thread)
+  SYNC_ADAPTIVE = 0x2,         // mutex: spin briefly, then block (default)
+  SYNC_DEBUG = 0x8,            // extra checking: ownership, recursion, ...
+};
+
+// rw_enter() lock request types.
+enum rw_type_t : int {
+  RW_READER = 0,
+  RW_WRITER = 1,
+};
+
+// ---- Synchronization variable layouts ----------------------------------------
+// All-zero bytes are a valid, default-variant initial state for every type.
+// The futex `word`s are the only fields the process-shared variants touch, so a
+// shared variable works regardless of the mapping address in each process.
+
+struct mutex_t {
+  std::atomic<uint32_t> word{0};  // local: 0 free / 1 held; shared: futex protocol
+  uint32_t type{0};
+  SpinLock qlock;
+  Tcb* wait_head{nullptr};
+  Tcb* wait_tail{nullptr};
+  Tcb* owner{nullptr};  // maintained by the SYNC_DEBUG variant
+};
+
+struct condvar_t {
+  std::atomic<uint32_t> seq{0};  // shared variant: futex sequence word
+  uint32_t type{0};
+  SpinLock qlock;
+  Tcb* wait_head{nullptr};
+  Tcb* wait_tail{nullptr};
+};
+
+struct sema_t {
+  std::atomic<uint32_t> count{0};  // shared variant: futex word
+  uint32_t type{0};
+  SpinLock qlock;
+  Tcb* wait_head{nullptr};
+  Tcb* wait_tail{nullptr};
+};
+
+struct rwlock_t {
+  // Local & shared: bit 31 = writer held, bit 30 = writers waiting (shared
+  // variant only), low bits = reader count.
+  std::atomic<uint32_t> state{0};
+  uint32_t type{0};
+  SpinLock qlock;
+  Tcb* wait_head{nullptr};
+  Tcb* wait_tail{nullptr};
+  uint32_t waiting_writers{0};  // local variant, guarded by qlock
+  Tcb* upgrader{nullptr};       // local variant: thread blocked in rw_tryupgrade
+};
+
+// ---- Mutex locks ---------------------------------------------------------------
+// "Low overhead in both space and time ... strictly bracketing."
+void mutex_init(mutex_t* mp, int type, void* arg);
+void mutex_enter(mutex_t* mp);
+void mutex_exit(mutex_t* mp);
+int mutex_tryenter(mutex_t* mp);  // nonzero on success
+
+// ---- Condition variables ---------------------------------------------------------
+// Always used with a mutex; waiters must re-test their condition (there is no
+// guaranteed acquisition order, and the shared variant may wake spuriously).
+void cv_init(condvar_t* cvp, int type, void* arg);
+void cv_wait(condvar_t* cvp, mutex_t* mutexp);
+void cv_signal(condvar_t* cvp);
+void cv_broadcast(condvar_t* cvp);
+
+// ---- Counting semaphores ------------------------------------------------------------
+// "They need not be bracketed ... they also contain state so they may be used
+// asynchronously without acquiring a mutex."
+void sema_init(sema_t* sp, unsigned int count, int type, void* arg);
+void sema_p(sema_t* sp);
+void sema_v(sema_t* sp);
+int sema_tryp(sema_t* sp);  // nonzero on success
+
+// ---- Readers/writer locks -------------------------------------------------------------
+void rw_init(rwlock_t* rwlp, int type, void* arg);
+void rw_enter(rwlock_t* rwlp, rw_type_t type);
+void rw_exit(rwlock_t* rwlp);
+int rw_tryenter(rwlock_t* rwlp, rw_type_t type);  // nonzero on success
+// Atomically converts a held writer lock into a reader lock; waiting writers
+// remain waiting, pending readers are admitted.
+void rw_downgrade(rwlock_t* rwlp);
+// Attempts to convert a held reader lock into a writer lock. Fails (returns 0)
+// if another upgrade is in progress or writers are waiting; otherwise waits for
+// the other readers to leave. (The shared variant additionally fails instead of
+// waiting when other readers hold the lock — a documented variant difference.)
+int rw_tryupgrade(rwlock_t* rwlp);
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_SYNC_SYNC_H_

@@ -1,0 +1,63 @@
+// Internal helpers for the wait queues embedded in synchronization variables.
+//
+// The queues are singly-linked Tcb chains through Tcb::wait_next so that an
+// all-zero sync variable is a valid empty queue (the zero-initialization
+// requirement). All operations assume the variable's qlock is held.
+
+#ifndef SUNMT_SRC_SYNC_WAITQ_H_
+#define SUNMT_SRC_SYNC_WAITQ_H_
+
+#include "src/core/tcb.h"
+
+namespace sunmt {
+
+inline void WaitqPush(Tcb** head, Tcb** tail, Tcb* tcb) {
+  tcb->wait_next = nullptr;
+  if (*tail != nullptr) {
+    (*tail)->wait_next = tcb;
+  } else {
+    *head = tcb;
+  }
+  *tail = tcb;
+}
+
+inline Tcb* WaitqPop(Tcb** head, Tcb** tail) {
+  Tcb* tcb = *head;
+  if (tcb != nullptr) {
+    *head = tcb->wait_next;
+    if (*head == nullptr) {
+      *tail = nullptr;
+    }
+    tcb->wait_next = nullptr;
+  }
+  return tcb;
+}
+
+inline Tcb* WaitqPeek(Tcb* head) { return head; }
+
+inline bool WaitqEmpty(const Tcb* head) { return head == nullptr; }
+
+// Removes a specific thread from the chain. Returns true if it was present.
+inline bool WaitqRemove(Tcb** head, Tcb** tail, Tcb* tcb) {
+  Tcb* prev = nullptr;
+  for (Tcb* cur = *head; cur != nullptr; prev = cur, cur = cur->wait_next) {
+    if (cur != tcb) {
+      continue;
+    }
+    if (prev != nullptr) {
+      prev->wait_next = cur->wait_next;
+    } else {
+      *head = cur->wait_next;
+    }
+    if (*tail == cur) {
+      *tail = prev;
+    }
+    cur->wait_next = nullptr;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_SYNC_WAITQ_H_

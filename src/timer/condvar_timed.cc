@@ -1,0 +1,95 @@
+// cv_timedwait(): bounded condition waits, built from a per-thread timer — the
+// paper's recipe for richer timing facilities ("library routines may implement
+// multiple per-thread timers using the per-address space timer").
+//
+// Local variant: the waiter enqueues on the condvar as usual and arms a one-shot
+// callback timer. Whichever of cv_signal and the timer dequeues the waiter first
+// wins; the loser finds the thread gone from the queue and does nothing. A
+// block-generation counter in the TCB keeps a stale timer from touching a later
+// wait by the same thread. Shared variant: the futex wait itself takes the
+// timeout (address-free, may wake spuriously — the mandated re-test absorbs it).
+
+#include <errno.h>
+
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/sync/sync.h"
+#include "src/sync/waitq.h"
+#include "src/timer/timer.h"
+#include "src/util/futex.h"
+
+namespace sunmt {
+namespace {
+
+struct TimeoutCtx {
+  condvar_t* cvp;
+  Tcb* tcb;
+};
+
+// Runs on the timer engine thread when the timeout expires first.
+void CvTimeoutFire(void* cookie, uint64_t generation) {
+  auto* ctx = static_cast<TimeoutCtx*>(cookie);
+  condvar_t* cvp = ctx->cvp;
+  Tcb* tcb = ctx->tcb;
+  delete ctx;
+  Tcb* to_wake = nullptr;
+  {
+    SpinLockGuard guard(cvp->qlock);
+    // Only touch the TCB if it is still queued here (queued => alive) and this
+    // is still the same wait (generation match).
+    if (WaitqRemove(&cvp->wait_head, &cvp->wait_tail, tcb)) {
+      if (tcb->block_generation == generation) {
+        tcb->timed_out = true;
+        to_wake = tcb;
+      } else {
+        // Stale timer for an earlier wait: restore the (current) waiter.
+        WaitqPush(&cvp->wait_head, &cvp->wait_tail, tcb);
+      }
+    }
+  }
+  if (to_wake != nullptr) {
+    sched::Wake(to_wake);
+  }
+}
+
+}  // namespace
+
+int cv_timedwait(condvar_t* cvp, mutex_t* mutexp, int64_t timeout_ns) {
+  if (timeout_ns < 0) {
+    timeout_ns = 0;
+  }
+  if ((cvp->type & THREAD_SYNC_SHARED) != 0) {
+    uint32_t seq = cvp->seq.load(std::memory_order_acquire);
+    mutex_exit(mutexp);
+    int rc;
+    {
+      KernelWaitScope wait(/*indefinite=*/true);
+      rc = FutexWait(&cvp->seq, seq, /*shared=*/true, timeout_ns);
+    }
+    mutex_enter(mutexp);
+    return rc == -ETIMEDOUT ? ETIME : 0;
+  }
+
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  cvp->qlock.Lock();
+  uint64_t generation = ++self->block_generation;
+  self->timed_out = false;
+  WaitqPush(&cvp->wait_head, &cvp->wait_tail, self);
+  // Arm the timeout while still holding the qlock: the timer cannot fire on a
+  // half-enqueued waiter because the fire path needs the qlock too.
+  auto* ctx = new TimeoutCtx{cvp, self};
+  timer_id_t timer = timer_arm_callback(timeout_ns, &CvTimeoutFire, ctx, generation);
+  mutex_exit(mutexp);
+  sched::Block(&cvp->qlock);  // releases qlock after the context save
+  bool timed_out = self->timed_out;
+  if (!timed_out && timer_cancel(timer) == 0) {
+    delete ctx;  // cancelled before firing: the callback will never free it
+  }
+  // (If the cancel lost the race, the fire path owns and frees ctx; it sees us
+  // gone from the queue — or a mismatched generation — and does not wake us.)
+  mutex_enter(mutexp);
+  return timed_out ? ETIME : 0;
+}
+
+}  // namespace sunmt

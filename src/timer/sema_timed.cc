@@ -1,0 +1,96 @@
+// sema_p_timed(): bounded semaphore waits, same construction as cv_timedwait —
+// a per-thread timer races the normal hand-off; whoever dequeues the waiter
+// first wins.
+
+#include <errno.h>
+
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/sync/sync.h"
+#include "src/sync/waitq.h"
+#include "src/timer/timer.h"
+#include "src/util/clock.h"
+#include "src/util/futex.h"
+
+namespace sunmt {
+namespace {
+
+struct SemaTimeoutCtx {
+  sema_t* sp;
+  Tcb* tcb;
+};
+
+void SemaTimeoutFire(void* cookie, uint64_t generation) {
+  auto* ctx = static_cast<SemaTimeoutCtx*>(cookie);
+  sema_t* sp = ctx->sp;
+  Tcb* tcb = ctx->tcb;
+  delete ctx;
+  Tcb* to_wake = nullptr;
+  {
+    SpinLockGuard guard(sp->qlock);
+    if (WaitqRemove(&sp->wait_head, &sp->wait_tail, tcb)) {
+      if (tcb->block_generation == generation) {
+        tcb->timed_out = true;
+        to_wake = tcb;
+      } else {
+        WaitqPush(&sp->wait_head, &sp->wait_tail, tcb);  // stale: restore
+      }
+    }
+  }
+  if (to_wake != nullptr) {
+    sched::Wake(to_wake);
+  }
+}
+
+int SharedPTimed(sema_t* sp, int64_t timeout_ns) {
+  int64_t deadline = MonotonicNowNs() + timeout_ns;
+  for (;;) {
+    uint32_t cur = sp->count.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (sp->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        return 1;
+      }
+    }
+    int64_t remaining = deadline - MonotonicNowNs();
+    if (remaining <= 0) {
+      return 0;
+    }
+    KernelWaitScope wait(/*indefinite=*/true);
+    FutexWait(&sp->count, 0, /*shared=*/true, remaining);
+  }
+}
+
+}  // namespace
+
+int sema_p_timed(sema_t* sp, int64_t timeout_ns) {
+  if (timeout_ns < 0) {
+    timeout_ns = 0;
+  }
+  if ((sp->type & THREAD_SYNC_SHARED) != 0) {
+    return SharedPTimed(sp, timeout_ns);
+  }
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  sp->qlock.Lock();
+  uint32_t cur = sp->count.load(std::memory_order_relaxed);
+  if (cur > 0) {
+    sp->count.store(cur - 1, std::memory_order_relaxed);
+    sp->qlock.Unlock();
+    return 1;
+  }
+  uint64_t generation = ++self->block_generation;
+  self->timed_out = false;
+  WaitqPush(&sp->wait_head, &sp->wait_tail, self);
+  auto* ctx = new SemaTimeoutCtx{sp, self};
+  timer_id_t timer = timer_arm_callback(timeout_ns, &SemaTimeoutFire, ctx, generation);
+  sched::Block(&sp->qlock);  // releases qlock after the context save
+  bool timed_out = self->timed_out;
+  if (!timed_out && timer_cancel(timer) == 0) {
+    delete ctx;
+  }
+  // Timed out: no credit consumed. Woken: sema_v handed the credit directly.
+  return timed_out ? 0 : 1;
+}
+
+}  // namespace sunmt

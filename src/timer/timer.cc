@@ -1,0 +1,282 @@
+#include "src/timer/timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <new>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/signal/signal.h"
+#include "src/sync/sync.h"
+#include "src/util/clock.h"
+#include "src/util/futex.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+namespace {
+
+enum class FireKind : uint8_t {
+  kSignalThread,   // thread_kill(target, sig)
+  kSignalProcess,  // signal_raise_process(sig) — the per-process interval timer
+  kWakeSema,       // sema_v(sema) — thread_sleep_ns
+  kCallback,       // fn(cookie, arg) on the engine thread — cv_timedwait etc.
+};
+
+struct TimerEntry {
+  timer_id_t id;
+  int64_t deadline_ns;
+  std::atomic<int64_t> period_ns{0};  // 0 = one-shot (atomic: engine vs cancel race)
+  FireKind kind;
+  int sig;
+  thread_id_t target;
+  sema_t* sema;
+  void (*callback)(void*, uint64_t);
+  void* cookie;
+  uint64_t callback_arg;
+};
+
+struct HeapCmp {
+  bool operator()(const TimerEntry* a, const TimerEntry* b) const {
+    return a->deadline_ns > b->deadline_ns;  // min-heap by deadline
+  }
+};
+
+struct EngineState {
+  SpinLock lock;
+  std::vector<TimerEntry*> heap;  // std::push_heap/pop_heap with HeapCmp
+  std::unordered_map<timer_id_t, TimerEntry*> live;
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<uint64_t> fires{0};
+  std::atomic<uint32_t> wakeup{0};  // bumped whenever an earlier deadline arrives
+  bool thread_started = false;
+  timer_id_t process_interval_timer = kInvalidTimerId;
+  int64_t process_interval_ns = 0;
+};
+
+EngineState& Engine() {
+  static EngineState* state = new EngineState;  // leaked, outlives everything
+  return *state;
+}
+
+// fork1() child repair: the engine thread does not exist in the child and the
+// heap/map may have been copied mid-mutation; rebuild the engine in place
+// (parent entries leak in the child, which is the safe direction).
+void TimerForkChildRepair() {
+  EngineState& engine = Engine();
+  new (&engine) EngineState();
+}
+
+void EnsureForkHandler() {
+  static std::atomic<bool> once{false};
+  if (!once.exchange(true, std::memory_order_acq_rel)) {
+    Runtime::RegisterForkChildHandler(&TimerForkChildRepair);
+  }
+}
+
+void FireEntry(TimerEntry* entry) {
+  Engine().fires.fetch_add(1, std::memory_order_relaxed);
+  switch (entry->kind) {
+    case FireKind::kSignalThread:
+      if (thread_kill(entry->target, entry->sig) != 0) {
+        entry->period_ns.store(0, std::memory_order_relaxed);  // target gone
+      }
+      break;
+    case FireKind::kSignalProcess:
+      signal_raise_process(entry->sig);
+      break;
+    case FireKind::kWakeSema:
+      sema_v(entry->sema);
+      break;
+    case FireKind::kCallback:
+      entry->callback(entry->cookie, entry->callback_arg);
+      break;
+  }
+}
+
+void EngineMain() {
+  EngineState& engine = Engine();
+  for (;;) {
+    int64_t now = MonotonicNowNs();
+    int64_t next_deadline = -1;
+    std::vector<TimerEntry*> due;
+    {
+      SpinLockGuard guard(engine.lock);
+      while (!engine.heap.empty() && engine.heap.front()->deadline_ns <= now) {
+        std::pop_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
+        due.push_back(engine.heap.back());
+        engine.heap.pop_back();
+      }
+      if (!engine.heap.empty()) {
+        next_deadline = engine.heap.front()->deadline_ns;
+      }
+    }
+    // Fire outside the lock: delivery takes package locks of its own.
+    for (TimerEntry* entry : due) {
+      FireEntry(entry);
+    }
+    {
+      SpinLockGuard guard(engine.lock);
+      for (TimerEntry* entry : due) {
+        int64_t period = entry->period_ns.load(std::memory_order_relaxed);
+        if (period > 0) {
+          entry->deadline_ns += period;
+          engine.heap.push_back(entry);
+          std::push_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
+        } else {
+          engine.live.erase(entry->id);
+          delete entry;
+        }
+      }
+      if (!engine.heap.empty()) {
+        next_deadline = engine.heap.front()->deadline_ns;
+      } else {
+        next_deadline = -1;
+      }
+    }
+    uint32_t version = engine.wakeup.load(std::memory_order_acquire);
+    int64_t timeout = next_deadline < 0 ? 1000 * 1000 * 1000
+                                        : next_deadline - MonotonicNowNs();
+    if (timeout > 0) {
+      FutexWait(&engine.wakeup, version, /*shared=*/false, timeout);
+    }
+  }
+}
+
+// Inserts an armed entry and kicks the engine thread. Returns the id.
+timer_id_t InsertEntry(TimerEntry* entry) {
+  EnsureForkHandler();
+  EngineState& engine = Engine();
+  {
+    SpinLockGuard guard(engine.lock);
+    if (!engine.thread_started) {
+      engine.thread_started = true;
+      std::thread(&EngineMain).detach();
+    }
+    entry->id = engine.next_id.fetch_add(1, std::memory_order_relaxed);
+    engine.live[entry->id] = entry;
+    engine.heap.push_back(entry);
+    std::push_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
+  }
+  engine.wakeup.fetch_add(1, std::memory_order_release);
+  FutexWake(&engine.wakeup, 1);
+  return entry->id;
+}
+
+// Removes a live entry. Returns it, or nullptr if unknown/in-flight.
+TimerEntry* RemoveEntry(timer_id_t id) {
+  EngineState& engine = Engine();
+  SpinLockGuard guard(engine.lock);
+  auto it = engine.live.find(id);
+  if (it == engine.live.end()) {
+    return nullptr;
+  }
+  TimerEntry* entry = it->second;
+  engine.live.erase(it);
+  auto pos = std::find(engine.heap.begin(), engine.heap.end(), entry);
+  if (pos == engine.heap.end()) {
+    // Currently firing on the engine thread: let it complete; mark one-shot so
+    // the engine frees it instead of re-arming.
+    entry->period_ns.store(0, std::memory_order_relaxed);
+    engine.live[id] = entry;  // engine's re-arm path will erase + delete
+    return nullptr;
+  }
+  engine.heap.erase(pos);
+  std::make_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
+  return entry;
+}
+
+}  // namespace
+
+timer_id_t timer_arm(int64_t first_delay_ns, int64_t period_ns, int sig,
+                     thread_id_t target) {
+  if (first_delay_ns < 0 || period_ns < 0 || sig < 1 || sig > SIG_MAX) {
+    return kInvalidTimerId;
+  }
+  auto* entry = new TimerEntry;
+  entry->deadline_ns = MonotonicNowNs() + first_delay_ns;
+  entry->period_ns.store(period_ns, std::memory_order_relaxed);
+  entry->kind = FireKind::kSignalThread;
+  entry->sig = sig;
+  entry->target = target != 0 ? target : thread_get_id();
+  entry->sema = nullptr;
+  return InsertEntry(entry);
+}
+
+int timer_cancel(timer_id_t id) {
+  TimerEntry* entry = RemoveEntry(id);
+  if (entry == nullptr) {
+    return -1;
+  }
+  delete entry;
+  return 0;
+}
+
+int64_t timer_set_process_interval(int64_t period_ns, int sig) {
+  EngineState& engine = Engine();
+  int64_t previous;
+  timer_id_t old_id;
+  {
+    SpinLockGuard guard(engine.lock);
+    previous = engine.process_interval_ns;
+    old_id = engine.process_interval_timer;
+    engine.process_interval_ns = period_ns;
+    engine.process_interval_timer = kInvalidTimerId;
+  }
+  if (old_id != kInvalidTimerId) {
+    timer_cancel(old_id);
+  }
+  if (period_ns > 0) {
+    auto* entry = new TimerEntry;
+    entry->deadline_ns = MonotonicNowNs() + period_ns;
+    entry->period_ns.store(period_ns, std::memory_order_relaxed);
+    entry->kind = FireKind::kSignalProcess;
+    entry->sig = sig > 0 ? sig : SIG_ALRM;
+    entry->target = 0;
+    entry->sema = nullptr;
+    timer_id_t id = InsertEntry(entry);
+    SpinLockGuard guard(engine.lock);
+    engine.process_interval_timer = id;
+  }
+  return previous;
+}
+
+timer_id_t timer_arm_callback(int64_t delay_ns, void (*fn)(void*, uint64_t),
+                              void* cookie, uint64_t arg) {
+  if (delay_ns < 0 || fn == nullptr) {
+    return kInvalidTimerId;
+  }
+  auto* entry = new TimerEntry;
+  entry->deadline_ns = MonotonicNowNs() + delay_ns;
+  entry->period_ns.store(0, std::memory_order_relaxed);
+  entry->kind = FireKind::kCallback;
+  entry->sig = 0;
+  entry->target = 0;
+  entry->sema = nullptr;
+  entry->callback = fn;
+  entry->cookie = cookie;
+  entry->callback_arg = arg;
+  return InsertEntry(entry);
+}
+
+void thread_sleep_ns(int64_t ns) {
+  if (ns <= 0) {
+    thread_yield();
+    return;
+  }
+  sema_t wake = {};
+  auto* entry = new TimerEntry;
+  entry->deadline_ns = MonotonicNowNs() + ns;
+  entry->period_ns.store(0, std::memory_order_relaxed);
+  entry->kind = FireKind::kWakeSema;
+  entry->sig = 0;
+  entry->target = 0;
+  entry->sema = &wake;
+  InsertEntry(entry);
+  sema_p(&wake);  // blocks the thread; its LWP runs other threads meanwhile
+}
+
+uint64_t timer_fire_count() { return Engine().fires.load(std::memory_order_relaxed); }
+
+}  // namespace sunmt

@@ -1,0 +1,75 @@
+// Timers.
+//
+// The paper: "There is only one real-time interval timer per process, so it
+// delivers one signal to an address space when it reaches the specified time
+// interval. Library routines may implement multiple per-thread timers using the
+// per-address space timer when that functionality is required."
+//
+// This module is those library routines: one timer engine (the per-process
+// timer stand-in) multiplexes any number of per-thread timers. Timers deliver
+// simulated signals through src/signal — a directed signal to the owning thread
+// (trap-like, per thread_kill semantics) — or, for thread_sleep_ns(), wake the
+// sleeping thread directly.
+//
+// thread_sleep_ns() is the piece io_sleep_ns() cannot give you: it blocks the
+// *thread* only. The LWP is released to run other threads, so a thousand
+// sleeping threads cost no kernel resources — unbound-thread economics applied
+// to time.
+
+#ifndef SUNMT_SRC_TIMER_TIMER_H_
+#define SUNMT_SRC_TIMER_TIMER_H_
+
+#include <cstdint>
+
+#include "src/core/thread.h"
+#include "src/sync/sync.h"
+
+namespace sunmt {
+
+using timer_id_t = uint64_t;
+inline constexpr timer_id_t kInvalidTimerId = 0;
+
+// Arms a timer that delivers `sig` to thread `target` (0 = the calling thread)
+// after `first_delay_ns`, then every `period_ns` if period_ns > 0. Returns the
+// timer id, or kInvalidTimerId on bad arguments. A periodic timer whose target
+// thread has exited cancels itself.
+timer_id_t timer_arm(int64_t first_delay_ns, int64_t period_ns, int sig,
+                     thread_id_t target);
+
+// Cancels a timer. Returns 0, or -1 if the id is unknown (already fired
+// one-shot timers count as unknown).
+int timer_cancel(timer_id_t id);
+
+// Arms a one-shot timer running fn(cookie, arg) on the timer engine's kernel
+// thread after `delay_ns`. The callback must be short and non-blocking (it
+// delays every other timer); package wake-ups are fine, package waits are not.
+timer_id_t timer_arm_callback(int64_t delay_ns, void (*fn)(void* cookie, uint64_t arg),
+                              void* cookie, uint64_t arg);
+
+// Like cv_wait() but bounded: returns 0 if signaled, ETIME if `timeout_ns`
+// elapsed first. The mutex is reacquired before returning in either case, and
+// the paper's re-test rule still applies (the shared variant may also wake
+// spuriously). Lives in the timer library because the timeout is implemented
+// with a per-thread timer, exactly as the paper suggests building richer
+// timing facilities from the library timer.
+int cv_timedwait(condvar_t* cvp, mutex_t* mutexp, int64_t timeout_ns);
+
+// Like sema_p() but bounded: returns 1 if a token was taken, 0 if `timeout_ns`
+// elapsed first (no token consumed).
+int sema_p_timed(sema_t* sp, int64_t timeout_ns);
+
+// The per-process real-time interval timer: every `period_ns` one `sig`
+// (default SIG_ALRM) is raised as a process-directed interrupt — one unmasked
+// thread receives it. period_ns == 0 disarms. Returns the previous period.
+int64_t timer_set_process_interval(int64_t period_ns, int sig);
+
+// Blocks the calling thread (not its LWP) for at least `ns`.
+void thread_sleep_ns(int64_t ns);
+inline void thread_sleep_ms(int64_t ms) { thread_sleep_ns(ms * 1000 * 1000); }
+
+// Total timer expirations delivered so far (tests/observability).
+uint64_t timer_fire_count();
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_TIMER_TIMER_H_

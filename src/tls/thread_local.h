@@ -1,0 +1,64 @@
+// Static thread-local storage — the `#pragma unshared` analogue.
+//
+// "Most variables in the program are shared among all the threads executing it,
+// but each thread has its own copy of thread-local variables. Conceptually,
+// thread-local storage is unshared, statically allocated data."
+//
+// Declare a ThreadLocal<T> at namespace scope (its constructor registers the
+// bytes with the TlsArena, playing the run-time linker that sums the TLS
+// requirements of the linked libraries at program start). The layout freezes when
+// the first thread is created; constructing a ThreadLocal after that panics, just
+// as late dynamic linking could not grow TLS in the paper.
+//
+// The per-thread copy is zero bytes initially ("the contents of thread-local
+// storage are zeroed; static initialization is not allowed"), so T must be
+// trivial. The canonical use is errno:
+//
+//   sunmt::ThreadLocal<int> tls_errno;          // #pragma unshared errno
+//   ...
+//   tls_errno.Get() = EAGAIN;                   // per-thread, data-race free
+
+#ifndef SUNMT_SRC_TLS_THREAD_LOCAL_H_
+#define SUNMT_SRC_TLS_THREAD_LOCAL_H_
+
+#include <cstddef>
+#include <type_traits>
+
+#include "src/core/scheduler.h"
+#include "src/core/tcb.h"
+#include "src/core/tls_arena.h"
+#include "src/util/check.h"
+
+namespace sunmt {
+
+template <typename T>
+class ThreadLocal {
+  static_assert(std::is_trivially_default_constructible_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "thread-local storage is zero-initialized raw memory; "
+                "T must be trivial (the paper forbids static initialization)");
+
+ public:
+  ThreadLocal() : offset_(TlsArena::Register(sizeof(T), alignof(T))) {}
+  ThreadLocal(const ThreadLocal&) = delete;
+  ThreadLocal& operator=(const ThreadLocal&) = delete;
+
+  // The calling thread's copy. Adopts foreign kernel threads on first use.
+  T& Get() const {
+    Tcb* self = sched::CurrentTcbOrAdopt();
+    SUNMT_DCHECK(self->tls_block != nullptr);
+    SUNMT_DCHECK(offset_ + sizeof(T) <= self->tls_size);
+    return *reinterpret_cast<T*>(static_cast<char*>(self->tls_block) + offset_);
+  }
+
+  T& operator*() const { return Get(); }
+
+  size_t offset() const { return offset_; }
+
+ private:
+  const size_t offset_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_TLS_THREAD_LOCAL_H_

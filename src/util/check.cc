@@ -1,0 +1,66 @@
+#include "src/util/check.h"
+
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace sunmt {
+namespace {
+
+// write() the whole buffer, ignoring failures: we are already dying.
+void RawWrite(const char* s, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(2, s, n);
+    if (w <= 0) {
+      return;
+    }
+    s += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void RawWriteCstr(const char* s) { RawWrite(s, strlen(s)); }
+
+// Minimal itoa for the failure path (no snprintf: not async-signal-safe everywhere).
+void RawWriteInt(long v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  bool neg = v < 0;
+  unsigned long u = neg ? 0ul - static_cast<unsigned long>(v) : static_cast<unsigned long>(v);
+  do {
+    *--p = static_cast<char>('0' + (u % 10));
+    u /= 10;
+  } while (u != 0);
+  if (neg) {
+    *--p = '-';
+  }
+  RawWrite(p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+}  // namespace
+
+void PanicAt(const char* msg, const char* file, int line) {
+  RawWriteCstr("sunmt panic: ");
+  RawWriteCstr(msg);
+  RawWriteCstr(" (");
+  RawWriteCstr(file);
+  RawWriteCstr(":");
+  RawWriteInt(line);
+  RawWriteCstr(")\n");
+  abort();
+}
+
+void PanicErrnoAt(const char* msg, int err, const char* file, int line) {
+  RawWriteCstr("sunmt panic: ");
+  RawWriteCstr(msg);
+  RawWriteCstr(" errno=");
+  RawWriteInt(err);
+  RawWriteCstr(" (");
+  RawWriteCstr(file);
+  RawWriteCstr(":");
+  RawWriteInt(line);
+  RawWriteCstr(")\n");
+  abort();
+}
+
+}  // namespace sunmt

@@ -1,0 +1,43 @@
+// Lightweight runtime assertion and fatal-error support for sunmt.
+//
+// SUNMT_CHECK(cond)   — always-on invariant check; aborts with a message on failure.
+// SUNMT_DCHECK(cond)  — debug-only invariant check (compiled out when NDEBUG).
+// sunmt::Panic(...)   — print a fatal message and abort.
+//
+// These are deliberately allocation-free on the failure path (the threads package
+// must work before and independently of any user allocator, one of the paper's
+// explicit design principles).
+
+#ifndef SUNMT_SRC_UTIL_CHECK_H_
+#define SUNMT_SRC_UTIL_CHECK_H_
+
+namespace sunmt {
+
+// Prints "panic: <msg> (<file>:<line>)" to stderr using only async-signal-safe
+// primitives, then aborts. Never returns.
+[[noreturn]] void PanicAt(const char* msg, const char* file, int line);
+
+// Errno-annotated variant: appends "errno=<err>".
+[[noreturn]] void PanicErrnoAt(const char* msg, int err, const char* file, int line);
+
+}  // namespace sunmt
+
+#define SUNMT_PANIC(msg) ::sunmt::PanicAt((msg), __FILE__, __LINE__)
+#define SUNMT_PANIC_ERRNO(msg, err) ::sunmt::PanicErrnoAt((msg), (err), __FILE__, __LINE__)
+
+#define SUNMT_CHECK(cond)                                          \
+  do {                                                             \
+    if (__builtin_expect(!(cond), 0)) {                            \
+      ::sunmt::PanicAt("check failed: " #cond, __FILE__, __LINE__); \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define SUNMT_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define SUNMT_DCHECK(cond) SUNMT_CHECK(cond)
+#endif
+
+#endif  // SUNMT_SRC_UTIL_CHECK_H_

@@ -1,0 +1,53 @@
+// Time sources.
+//
+// The paper's measurements used the SPARCstation's built-in microsecond real-time
+// timer; we use CLOCK_MONOTONIC (nanosecond superset) for benchmarks and
+// CLOCK_THREAD_CPUTIME_ID for the per-LWP virtual-time accounting that backs the
+// LWP interval timers and getrusage()-style usage sums.
+
+#ifndef SUNMT_SRC_UTIL_CLOCK_H_
+#define SUNMT_SRC_UTIL_CLOCK_H_
+
+#include <cstdint>
+#include <ctime>
+
+namespace sunmt {
+
+// Monotonic wall-clock nanoseconds.
+inline int64_t MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// CPU time consumed by the calling kernel thread (our LWP), in nanoseconds.
+inline int64_t ThreadCpuNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// CPU time consumed by the whole process, in nanoseconds.
+inline int64_t ProcessCpuNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// Simple elapsed-time stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNowNs()) {}
+
+  void Reset() { start_ = MonotonicNowNs(); }
+  int64_t ElapsedNs() const { return MonotonicNowNs() - start_; }
+  double ElapsedUs() const { return static_cast<double>(ElapsedNs()) / 1e3; }
+  double ElapsedMs() const { return static_cast<double>(ElapsedNs()) / 1e6; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_UTIL_CLOCK_H_

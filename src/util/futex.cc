@@ -1,0 +1,58 @@
+#include "src/util/futex.h"
+
+#include <errno.h>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "src/util/check.h"
+
+namespace sunmt {
+namespace {
+
+long FutexSyscall(std::atomic<uint32_t>* addr, int op, uint32_t val,
+                  const struct timespec* timeout) {
+  return syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), op, val, timeout, nullptr, 0);
+}
+
+}  // namespace
+
+int FutexWait(std::atomic<uint32_t>* addr, uint32_t expected, bool shared, int64_t timeout_ns) {
+  int op = FUTEX_WAIT | (shared ? 0 : FUTEX_PRIVATE_FLAG);
+  struct timespec ts;
+  struct timespec* tsp = nullptr;
+  if (timeout_ns >= 0) {
+    ts.tv_sec = timeout_ns / 1000000000;
+    ts.tv_nsec = timeout_ns % 1000000000;
+    tsp = &ts;
+  }
+  for (;;) {
+    long rc = FutexSyscall(addr, op, expected, tsp);
+    if (rc == 0) {
+      return 0;
+    }
+    int err = errno;
+    if (err == EAGAIN) {
+      return -EAGAIN;
+    }
+    if (err == ETIMEDOUT) {
+      return -ETIMEDOUT;
+    }
+    if (err == EINTR) {
+      continue;  // Retried transparently; callers re-check their predicate anyway.
+    }
+    SUNMT_PANIC_ERRNO("futex wait failed", err);
+  }
+}
+
+int FutexWake(std::atomic<uint32_t>* addr, int count, bool shared) {
+  int op = FUTEX_WAKE | (shared ? 0 : FUTEX_PRIVATE_FLAG);
+  long rc = FutexSyscall(addr, op, static_cast<uint32_t>(count), nullptr);
+  if (rc < 0) {
+    SUNMT_PANIC_ERRNO("futex wake failed", errno);
+  }
+  return static_cast<int>(rc);
+}
+
+}  // namespace sunmt

@@ -1,0 +1,29 @@
+// Thin wrapper over the Linux futex(2) system call.
+//
+// This is the only kernel blocking primitive the whole library uses. The LWP layer
+// parks/unparks virtual CPUs with it, and the THREAD_SYNC_SHARED synchronization
+// variants use it directly on words placed in shared memory (futexes operate on the
+// physical page, so the same variable works across processes even when mapped at
+// different virtual addresses — exactly the paper's requirement for synchronization
+// variables in shared memory and files).
+
+#ifndef SUNMT_SRC_UTIL_FUTEX_H_
+#define SUNMT_SRC_UTIL_FUTEX_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sunmt {
+
+// Blocks until *addr != expected or a wakeup arrives. Spurious returns allowed.
+// `shared` selects cross-process futexes (no FUTEX_PRIVATE_FLAG).
+// Returns 0 on wake, -EAGAIN if *addr != expected at call time, -ETIMEDOUT on timeout.
+int FutexWait(std::atomic<uint32_t>* addr, uint32_t expected, bool shared = false,
+              int64_t timeout_ns = -1);
+
+// Wakes up to `count` waiters. Returns the number woken.
+int FutexWake(std::atomic<uint32_t>* addr, int count, bool shared = false);
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_UTIL_FUTEX_H_

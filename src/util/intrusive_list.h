@@ -1,0 +1,135 @@
+// Intrusive doubly-linked list.
+//
+// The threads package must not call malloc() on its hot paths (an explicit design
+// goal in the paper: "there should be a method of using threads that does not force
+// the threads library to use malloc()"). Queue nodes are therefore embedded in the
+// objects themselves (TCBs, LWPs): enqueue/dequeue never allocate.
+
+#ifndef SUNMT_SRC_UTIL_INTRUSIVE_LIST_H_
+#define SUNMT_SRC_UTIL_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "src/util/check.h"
+
+namespace sunmt {
+
+// Embed one of these per list a type can be on.
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool IsLinked() const { return next != nullptr; }
+};
+
+// FIFO intrusive list of T, where `Node` is a pointer-to-member selecting which
+// embedded ListNode to use. Not thread-safe; callers hold their own lock.
+template <typename T, ListNode T::* Node>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.next = &head_;
+    head_.prev = &head_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool Empty() const { return head_.next == &head_; }
+  size_t Size() const { return size_; }
+
+  void PushBack(T* obj) {
+    ListNode* n = &(obj->*Node);
+    SUNMT_DCHECK(!n->IsLinked());
+    n->prev = head_.prev;
+    n->next = &head_;
+    head_.prev->next = n;
+    head_.prev = n;
+    ++size_;
+  }
+
+  void PushFront(T* obj) {
+    ListNode* n = &(obj->*Node);
+    SUNMT_DCHECK(!n->IsLinked());
+    n->next = head_.next;
+    n->prev = &head_;
+    head_.next->prev = n;
+    head_.next = n;
+    ++size_;
+  }
+
+  T* PopFront() {
+    if (Empty()) {
+      return nullptr;
+    }
+    ListNode* n = head_.next;
+    Unlink(n);
+    return FromNode(n);
+  }
+
+  T* Front() const { return Empty() ? nullptr : FromNode(head_.next); }
+
+  // Removes `obj` from the list. Precondition: obj is on this list.
+  void Remove(T* obj) {
+    ListNode* n = &(obj->*Node);
+    SUNMT_DCHECK(n->IsLinked());
+    Unlink(n);
+  }
+
+  // Removes `obj` if present (identified by link state). Returns true if removed.
+  // Only valid when an object can be on at most one list through this node, which
+  // is how all sunmt queues use it.
+  bool TryRemove(T* obj) {
+    ListNode* n = &(obj->*Node);
+    if (!n->IsLinked()) {
+      return false;
+    }
+    Unlink(n);
+    return true;
+  }
+
+  // Iteration support: visits every element; `fn` must not modify the list.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (ListNode* n = head_.next; n != &head_; n = n->next) {
+      fn(FromNode(n));
+    }
+  }
+
+  // Removes and returns the first element satisfying `pred`, or nullptr.
+  template <typename Pred>
+  T* PopIf(Pred&& pred) {
+    for (ListNode* n = head_.next; n != &head_; n = n->next) {
+      T* obj = FromNode(n);
+      if (pred(obj)) {
+        Unlink(n);
+        return obj;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  static T* FromNode(ListNode* n) {
+    // Recover the enclosing object from the embedded node.
+    alignas(T) static char probe_storage[sizeof(T)];
+    T* probe = reinterpret_cast<T*>(probe_storage);
+    ptrdiff_t offset =
+        reinterpret_cast<char*>(&(probe->*Node)) - reinterpret_cast<char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+  }
+
+  void Unlink(ListNode* n) {
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    n->prev = nullptr;
+    n->next = nullptr;
+    --size_;
+  }
+
+  ListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_UTIL_INTRUSIVE_LIST_H_

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random numbers for tests and workload generators.
+//
+// SplitMix64: tiny, fast, and good enough for workload shuffling. Seeded explicitly
+// so every test and benchmark run is reproducible.
+
+#ifndef SUNMT_SRC_UTIL_RNG_H_
+#define SUNMT_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace sunmt {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint64_t NextBounded(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53)); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_UTIL_RNG_H_

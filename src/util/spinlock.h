@@ -1,0 +1,87 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used for the short critical sections inside the threads package itself (run queue,
+// sleep queues, registry). User-facing mutual exclusion is provided by sunmt::Mutex,
+// which blocks threads instead of burning the LWP.
+
+#ifndef SUNMT_SRC_UTIL_SPINLOCK_H_
+#define SUNMT_SRC_UTIL_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sunmt {
+
+// CPU-relax hint for spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Bounded exponential backoff for contended CAS loops.
+class Backoff {
+ public:
+  void Pause() {
+    for (uint32_t i = 0; i < count_; ++i) {
+      CpuRelax();
+    }
+    if (count_ < kMaxSpin) {
+      count_ *= 2;
+    }
+  }
+
+  void Reset() { count_ = 1; }
+
+ private:
+  static constexpr uint32_t kMaxSpin = 1024;
+  uint32_t count_ = 1;
+};
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool IsLocked() const { return locked_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_UTIL_SPINLOCK_H_

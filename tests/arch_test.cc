@@ -1,0 +1,193 @@
+// Unit tests for src/arch: context switching and stacks.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/arch/context.h"
+#include "src/arch/stack.h"
+
+namespace sunmt {
+namespace {
+
+// Contexts used by the entry functions below (entry fns must be plain functions).
+Context g_main;
+Context g_ctx_a;
+Context g_ctx_b;
+int g_trace[16];
+int g_trace_len = 0;
+
+void Trace(int v) {
+  ASSERT_LT(g_trace_len, 16);
+  g_trace[g_trace_len++] = v;
+}
+
+void PingEntry(void* arg) {
+  Trace(static_cast<int>(reinterpret_cast<intptr_t>(arg)));
+  void* r = g_ctx_a.SwitchTo(g_main, reinterpret_cast<void*>(2));
+  Trace(static_cast<int>(reinterpret_cast<intptr_t>(r)));
+  g_ctx_a.SwitchTo(g_main, reinterpret_cast<void*>(4));
+  FAIL() << "resumed after final switch";
+}
+
+TEST(Context, PingPongTransfersData) {
+  g_trace_len = 0;
+  Stack stack = Stack::AllocateOwned(64 * 1024);
+  g_ctx_a.Make(stack.base(), stack.size(), &PingEntry);
+  void* r = g_main.SwitchTo(g_ctx_a, reinterpret_cast<void*>(1));
+  EXPECT_EQ(reinterpret_cast<intptr_t>(r), 2);
+  r = g_main.SwitchTo(g_ctx_a, reinterpret_cast<void*>(3));
+  EXPECT_EQ(reinterpret_cast<intptr_t>(r), 4);
+  ASSERT_EQ(g_trace_len, 2);
+  EXPECT_EQ(g_trace[0], 1);
+  EXPECT_EQ(g_trace[1], 3);
+}
+
+void ChainBEntry(void* arg) {
+  Trace(20 + static_cast<int>(reinterpret_cast<intptr_t>(arg)));
+  g_ctx_b.SwitchTo(g_main, reinterpret_cast<void*>(99));
+  FAIL();
+}
+
+void ChainAEntry(void* arg) {
+  Trace(10 + static_cast<int>(reinterpret_cast<intptr_t>(arg)));
+  // A transfers directly to B without going through main.
+  g_ctx_a.SwitchTo(g_ctx_b, reinterpret_cast<void*>(5));
+  FAIL();
+}
+
+TEST(Context, DirectHandoffBetweenContexts) {
+  g_trace_len = 0;
+  Stack sa = Stack::AllocateOwned(64 * 1024);
+  Stack sb = Stack::AllocateOwned(64 * 1024);
+  g_ctx_a.Make(sa.base(), sa.size(), &ChainAEntry);
+  g_ctx_b.Make(sb.base(), sb.size(), &ChainBEntry);
+  void* r = g_main.SwitchTo(g_ctx_a, reinterpret_cast<void*>(1));
+  EXPECT_EQ(reinterpret_cast<intptr_t>(r), 99);
+  ASSERT_EQ(g_trace_len, 2);
+  EXPECT_EQ(g_trace[0], 11);  // A saw arg 1
+  EXPECT_EQ(g_trace[1], 25);  // B saw arg 5
+}
+
+// The stack actually carries locals across switches.
+uint64_t g_sum_result = 0;
+
+void DeepStackEntry(void* arg) {
+  (void)arg;
+  // Large local array proves we are on the made stack, not the caller's.
+  volatile uint64_t data[2048];
+  for (int i = 0; i < 2048; ++i) {
+    data[i] = static_cast<uint64_t>(i);
+  }
+  g_ctx_a.SwitchTo(g_main, nullptr);  // suspend mid-computation
+  uint64_t sum = 0;
+  for (int i = 0; i < 2048; ++i) {
+    sum += data[i];  // locals must have survived the suspension
+  }
+  g_sum_result = sum;
+  g_ctx_a.SwitchTo(g_main, nullptr);
+  FAIL();
+}
+
+TEST(Context, LocalsSurviveSuspension) {
+  Stack stack = Stack::AllocateOwned(128 * 1024);
+  g_ctx_a.Make(stack.base(), stack.size(), &DeepStackEntry);
+  g_main.SwitchTo(g_ctx_a, nullptr);
+  g_main.SwitchTo(g_ctx_a, nullptr);
+  EXPECT_EQ(g_sum_result, uint64_t{2048} * 2047 / 2);
+}
+
+double g_fp_result = 0.0;
+
+void FpEntry(void* arg) {
+  (void)arg;
+  double x = 1.5;
+  g_ctx_a.SwitchTo(g_main, nullptr);
+  // FP state (control words) must be sane after resume.
+  for (int i = 0; i < 10; ++i) {
+    x = x * 1.25 + 0.5;
+  }
+  g_fp_result = x;
+  g_ctx_a.SwitchTo(g_main, nullptr);
+  FAIL();
+}
+
+TEST(Context, FloatingPointAcrossSwitches) {
+  Stack stack = Stack::AllocateOwned(64 * 1024);
+  g_ctx_a.Make(stack.base(), stack.size(), &FpEntry);
+  g_main.SwitchTo(g_ctx_a, nullptr);
+  double expect = 1.5;
+  for (int i = 0; i < 10; ++i) {
+    expect = expect * 1.25 + 0.5;
+  }
+  g_main.SwitchTo(g_ctx_a, nullptr);
+  EXPECT_DOUBLE_EQ(g_fp_result, expect);
+}
+
+TEST(Stack, AllocateRoundsToPages) {
+  Stack s = Stack::AllocateOwned(1000);
+  EXPECT_TRUE(s.valid());
+  EXPECT_TRUE(s.owned());
+  EXPECT_GE(s.size(), 1000u);
+  EXPECT_EQ(s.size() % 4096, 0u);
+  // The whole usable range must be writable.
+  char* p = static_cast<char*>(s.base());
+  p[0] = 1;
+  p[s.size() - 1] = 1;
+}
+
+TEST(Stack, WrapUnownedNeverFrees) {
+  alignas(16) static char buffer[8192];
+  {
+    Stack s = Stack::WrapUnowned(buffer, sizeof(buffer));
+    EXPECT_TRUE(s.valid());
+    EXPECT_FALSE(s.owned());
+  }
+  buffer[0] = 42;  // still accessible after Stack destruction
+  EXPECT_EQ(buffer[0], 42);
+}
+
+TEST(Stack, MoveTransfersOwnership) {
+  Stack a = Stack::AllocateOwned(4096);
+  void* base = a.base();
+  Stack b = static_cast<Stack&&>(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.base(), base);
+}
+
+TEST(StackCache, RecycleThenReuse) {
+  StackCache::Drain();
+  EXPECT_EQ(StackCache::CachedCount(), 0u);
+  Stack s = StackCache::Acquire();
+  void* base = s.base();
+  StackCache::Recycle(static_cast<Stack&&>(s));
+  EXPECT_EQ(StackCache::CachedCount(), 1u);
+  Stack again = StackCache::Acquire();
+  EXPECT_EQ(again.base(), base);  // same mapping came back
+  EXPECT_EQ(StackCache::CachedCount(), 0u);
+  StackCache::Recycle(static_cast<Stack&&>(again));
+  StackCache::Drain();
+  EXPECT_EQ(StackCache::CachedCount(), 0u);
+}
+
+TEST(StackCache, NonDefaultSizesAreNotCached) {
+  StackCache::Drain();
+  Stack odd = Stack::AllocateOwned(8192);
+  StackCache::Recycle(static_cast<Stack&&>(odd));
+  EXPECT_EQ(StackCache::CachedCount(), 0u);
+}
+
+TEST(StackDeathTest, GuardPageFaultsOnOverflow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Stack s = Stack::AllocateOwned(4096);
+        // Write below the usable base: lands on the PROT_NONE guard page.
+        static_cast<volatile char*>(s.base())[-1] = 1;
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace sunmt

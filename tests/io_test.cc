@@ -1,0 +1,178 @@
+// Blocking-I/O wrapper tests, including the SIGWAITING deadlock-avoidance story:
+// this binary pins the initial pool to ONE LWP (see main below), blocks it in an
+// indefinite wait, and checks that the library grows the pool so runnable
+// threads still execute — the paper's reason for SIGWAITING to exist.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "src/core/runtime.h"
+#include "src/core/thread.h"
+#include "src/io/io.h"
+#include "src/signal/signal.h"
+#include "src/sync/sync.h"
+#include "src/util/clock.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+TEST(Io, PipeReadBlocksUntilWrite) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  static std::atomic<int> got;
+  got.store(-1);
+  thread_id_t reader = Spawn([&] {
+    char ch = 0;
+    ssize_t n = io_read(fds[0], &ch, 1);
+    got.store(n == 1 ? ch : -2);
+  });
+  usleep(20 * 1000);
+  EXPECT_EQ(got.load(), -1);  // still blocked
+  char msg = 'x';
+  EXPECT_EQ(io_write(fds[1], &msg, 1), 1);
+  EXPECT_TRUE(Join(reader));
+  EXPECT_EQ(got.load(), 'x');
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Io, SigwaitingGrowsPoolWhenAllLwpsBlock) {
+  // One unbound thread parks the only pool LWP in an indefinite pipe read; a
+  // second unbound thread is runnable. Without SIGWAITING growth it would wait
+  // forever; with it, the pool gains an LWP and the runnable thread completes.
+  ASSERT_EQ(Runtime::Get().pool_size(), 1) << "binary must start with 1 pool LWP";
+  signal_enable_sigwaiting();  // also raise the observable SIG_WAITING
+  uint64_t sigwaiting_before = Runtime::Get().sigwaiting_count();
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  static std::atomic<bool> reader_done, runner_done;
+  reader_done.store(false);
+  runner_done.store(false);
+  thread_id_t reader = Spawn([&] {
+    char ch;
+    io_read(fds[0], &ch, 1);  // indefinite kernel wait on the only pool LWP
+    reader_done.store(true);
+  });
+  thread_id_t runner = Spawn([&] {
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sink = sink + i;
+    }
+    runner_done.store(true);
+  });
+  // The runner can only finish if SIGWAITING created a second LWP.
+  int64_t deadline = MonotonicNowNs() + 5 * 1000 * 1000 * 1000ll;
+  while (!runner_done.load() && MonotonicNowNs() < deadline) {
+    usleep(1000);
+  }
+  EXPECT_TRUE(runner_done.load()) << "pool never grew: SIGWAITING deadlock";
+  EXPECT_GT(Runtime::Get().sigwaiting_count(), sigwaiting_before);
+  EXPECT_GT(Runtime::Get().pool_size(), 1);
+
+  char msg = 'y';
+  EXPECT_EQ(write(fds[1], &msg, 1), 1);
+  EXPECT_TRUE(Join(reader));
+  EXPECT_TRUE(Join(runner));
+  EXPECT_TRUE(reader_done.load());
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Io, PreadPwriteRoundTrip) {
+  char path[] = "/tmp/sunmt_io_test_XXXXXX";
+  int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  const char data[] = "sunos-mt";
+  EXPECT_EQ(io_pwrite(fd, data, sizeof(data), 100), static_cast<ssize_t>(sizeof(data)));
+  char buf[sizeof(data)] = {};
+  EXPECT_EQ(io_pread(fd, buf, sizeof(buf), 100), static_cast<ssize_t>(sizeof(buf)));
+  EXPECT_STREQ(buf, data);
+  close(fd);
+  unlink(path);
+}
+
+TEST(Io, PollTimesOut) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  struct pollfd pfd = {fds[0], POLLIN, 0};
+  int64_t start = MonotonicNowNs();
+  EXPECT_EQ(io_poll(&pfd, 1, 20), 0);  // nothing readable: timeout
+  EXPECT_GE(MonotonicNowNs() - start, 15 * 1000 * 1000);
+  char msg = 'z';
+  ASSERT_EQ(write(fds[1], &msg, 1), 1);
+  EXPECT_EQ(io_poll(&pfd, 1, 1000), 1);
+  EXPECT_NE(pfd.revents & POLLIN, 0);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Io, SleepWakesOnTime) {
+  int64_t start = MonotonicNowNs();
+  io_sleep_ms(25);
+  EXPECT_GE(MonotonicNowNs() - start, 24 * 1000 * 1000);
+}
+
+TEST(Io, ThreadErrnoIsPerThread) {
+  // The paper's errno example: a failing call in one thread must not corrupt
+  // another thread's errno.
+  thread_errno() = 0;
+  static std::atomic<int> worker_errno;
+  worker_errno.store(0);
+  thread_id_t worker = Spawn([&] {
+    char ch;
+    EXPECT_LT(io_read(-1, &ch, 1), 0);  // EBADF in this thread only
+    worker_errno.store(thread_errno());
+  });
+  EXPECT_TRUE(Join(worker));
+  EXPECT_EQ(worker_errno.load(), EBADF);
+  EXPECT_EQ(thread_errno(), 0);  // main's copy untouched
+}
+
+TEST(Io, ManyBlockedReadersAllRelease) {
+  constexpr int kReaders = 4;
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  static std::atomic<int> released;
+  released.store(0);
+  std::vector<thread_id_t> ids;
+  for (int i = 0; i < kReaders; ++i) {
+    ids.push_back(Spawn([&] {
+      char ch;
+      if (io_read(fds[0], &ch, 1) == 1) {
+        released.fetch_add(1);
+      }
+    }));
+  }
+  usleep(50 * 1000);  // let them all block (pool grows via SIGWAITING)
+  for (int i = 0; i < kReaders; ++i) {
+    char msg = static_cast<char>('a' + i);
+    ASSERT_EQ(write(fds[1], &msg, 1), 1);
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(released.load(), kReaders);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+}  // namespace
+}  // namespace sunmt
+
+int main(int argc, char** argv) {
+  sunmt::RuntimeConfig config;
+  config.initial_pool_lwps = 1;  // force the SIGWAITING scenario
+  sunmt::Runtime::Configure(config);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

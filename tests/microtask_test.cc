@@ -1,0 +1,145 @@
+// Microtasking (LWP-level loop parallelism) and gang barrier tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/microtask/barrier.h"
+#include "src/microtask/microtask.h"
+
+namespace sunmt {
+namespace {
+
+TEST(Microtask, PoolSizesDefaultToCpus) {
+  MicrotaskPool pool;
+  EXPECT_GE(pool.size(), 1);
+  MicrotaskPool sized(3);
+  EXPECT_EQ(sized.size(), 3);
+}
+
+TEST(Microtask, ParallelForCoversEveryIteration) {
+  MicrotaskPool pool(4);
+  constexpr int64_t kN = 10000;
+  static std::atomic<int> hits[kN];
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  pool.ParallelFor(0, kN, 0, [](int64_t i, void*) { hits[i].fetch_add(1); }, nullptr);
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST(Microtask, EmptyAndSingletonRanges) {
+  MicrotaskPool pool(2);
+  static std::atomic<int> count;
+  count.store(0);
+  pool.ParallelFor(5, 5, 1, [](int64_t, void*) { count.fetch_add(1); }, nullptr);
+  EXPECT_EQ(count.load(), 0);
+  pool.ParallelFor(5, 6, 1, [](int64_t, void*) { count.fetch_add(1); }, nullptr);
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Microtask, CookieIsDelivered) {
+  MicrotaskPool pool(2);
+  std::vector<double> data(1000, 1.0);
+  struct Ctx {
+    std::vector<double>* data;
+  } ctx{&data};
+  pool.ParallelFor(
+      0, static_cast<int64_t>(data.size()), 0,
+      [](int64_t i, void* cookie) {
+        auto* c = static_cast<Ctx*>(cookie);
+        (*c->data)[i] = static_cast<double>(i) * 2;
+      },
+      &ctx);
+  EXPECT_EQ(data[0], 0.0);
+  EXPECT_EQ(data[999], 1998.0);
+}
+
+TEST(Microtask, GrainControlsChunking) {
+  MicrotaskPool pool(2);
+  uint64_t before = pool.chunks_dispatched();
+  pool.ParallelFor(0, 1000, 100, [](int64_t, void*) {}, nullptr);
+  uint64_t coarse = pool.chunks_dispatched() - before;
+  EXPECT_EQ(coarse, 10u);
+  before = pool.chunks_dispatched();
+  pool.ParallelFor(0, 1000, 10, [](int64_t, void*) {}, nullptr);
+  EXPECT_EQ(pool.chunks_dispatched() - before, 100u);
+}
+
+TEST(Microtask, SequentialLoopsReuseThePool) {
+  MicrotaskPool pool(3);
+  static std::atomic<long> sum;
+  sum.store(0);
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(0, 100, 0, [](int64_t i, void*) { sum.fetch_add(i); }, nullptr);
+  }
+  EXPECT_EQ(sum.load(), 20L * (99 * 100 / 2));
+}
+
+TEST(Microtask, GangClassMarksMembers) {
+  MicrotaskPool pool(2);
+  pool.EnableGangClass();
+  // The pool still computes correctly with the gang class applied.
+  static std::atomic<int> count;
+  count.store(0);
+  pool.ParallelFor(0, 64, 0, [](int64_t, void*) { count.fetch_add(1); }, nullptr);
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(Microtask, CallerCanBeAPlainKernelThread) {
+  // ParallelFor must work when invoked off any kernel thread, not only sunmt
+  // threads (language run-times sit below the threads package).
+  MicrotaskPool pool(2);
+  static std::atomic<int> count;
+  count.store(0);
+  std::thread plain([&] {
+    pool.ParallelFor(0, 500, 0, [](int64_t, void*) { count.fetch_add(1); }, nullptr);
+  });
+  plain.join();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(GangBarrier, AllArriveBeforeAnyoneLeaves) {
+  constexpr int kParties = 4;
+  GangBarrier barrier(kParties);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violation{false};
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 50; ++phase) {
+        arrived.fetch_add(1);
+        bool serial = barrier.Arrive();
+        // After the barrier, every participant of this phase has arrived.
+        if (arrived.load() < (phase + 1) * kParties) {
+          violation.store(true);
+        }
+        if (serial) {
+          serial_count.fetch_add(1);
+        }
+        barrier.Arrive();  // phase-end barrier so `arrived` stays in lockstep
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(serial_count.load(), 50);  // exactly one serial participant per phase
+  EXPECT_EQ(barrier.phases_completed(), 100u);
+}
+
+TEST(GangBarrier, SingleParticipantNeverBlocks) {
+  GangBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(barrier.Arrive());
+  }
+}
+
+}  // namespace
+}  // namespace sunmt

@@ -1,0 +1,299 @@
+// Model-based property tests: package data structures fuzzed against simple
+// reference models with deterministic seeds.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/core/run_queue.h"
+#include "src/core/tcb.h"
+#include "src/core/tls_arena.h"
+#include "src/sync/sync.h"
+#include "src/sync/waitq.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/rng.h"
+
+namespace sunmt {
+namespace {
+
+// ---- RunQueue vs map<priority, FIFO> -------------------------------------------
+
+class RunQueueModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RunQueueModelTest, MatchesReferenceModel) {
+  SplitMix64 rng(GetParam());
+  RunQueue queue;
+  std::map<int, std::deque<Tcb*>> model;  // priority -> FIFO
+  size_t model_size = 0;
+
+  constexpr int kSlots = 64;
+  std::vector<Tcb> tcbs(kSlots);
+  std::vector<bool> queued(kSlots, false);
+
+  auto model_pop = [&]() -> Tcb* {
+    if (model.empty()) {
+      return nullptr;
+    }
+    auto it = std::prev(model.end());  // highest priority
+    Tcb* t = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+      model.erase(it);
+    }
+    --model_size;
+    return t;
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // push a free tcb at a random priority
+        int slot = static_cast<int>(rng.NextBounded(kSlots));
+        if (queued[slot]) {
+          break;
+        }
+        int prio = static_cast<int>(rng.NextBounded(130)) - 1;  // includes clamps
+        tcbs[slot].priority.store(prio);
+        queue.Push(&tcbs[slot]);
+        int clamped = prio < 0 ? 0 : (prio > 127 ? 127 : prio);
+        model[clamped].push_back(&tcbs[slot]);
+        ++model_size;
+        queued[slot] = true;
+        break;
+      }
+      case 2: {  // pop highest
+        Tcb* got = queue.Pop();
+        Tcb* expect = model_pop();
+        ASSERT_EQ(got, expect) << "step " << step;
+        if (got != nullptr) {
+          queued[static_cast<size_t>(got - tcbs.data())] = false;
+        }
+        break;
+      }
+      default: {  // remove a random queued tcb
+        int slot = static_cast<int>(rng.NextBounded(kSlots));
+        bool removed = queue.Remove(&tcbs[slot]);
+        ASSERT_EQ(removed, queued[slot]) << "step " << step;
+        if (removed) {
+          for (auto& [prio, fifo] : model) {
+            for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+              if (*it == &tcbs[slot]) {
+                fifo.erase(it);
+                --model_size;
+                if (fifo.empty()) {
+                  model.erase(prio);
+                }
+                goto removed_from_model;
+              }
+            }
+          }
+        removed_from_model:
+          queued[slot] = false;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(queue.Size(), model_size) << "step " << step;
+    ASSERT_EQ(queue.Empty(), model.empty()) << "step " << step;
+  }
+  // Drain and compare the full remaining order.
+  for (;;) {
+    Tcb* got = queue.Pop();
+    Tcb* expect = model_pop();
+    ASSERT_EQ(got, expect);
+    if (got == nullptr) {
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunQueueModelTest,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu, 20260707u));
+
+// ---- IntrusiveList vs std::list -------------------------------------------------
+
+struct ModelItem {
+  int tag = 0;
+  ListNode node;
+};
+
+class IntrusiveListModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntrusiveListModelTest, MatchesStdList) {
+  SplitMix64 rng(GetParam());
+  IntrusiveList<ModelItem, &ModelItem::node> list;
+  std::list<ModelItem*> model;
+  constexpr int kSlots = 32;
+  std::vector<ModelItem> items(kSlots);
+  std::vector<bool> linked(kSlots, false);
+
+  for (int step = 0; step < 20000; ++step) {
+    int slot = static_cast<int>(rng.NextBounded(kSlots));
+    switch (rng.NextBounded(4)) {
+      case 0:
+        if (!linked[slot]) {
+          list.PushBack(&items[slot]);
+          model.push_back(&items[slot]);
+          linked[slot] = true;
+        }
+        break;
+      case 1:
+        if (!linked[slot]) {
+          list.PushFront(&items[slot]);
+          model.push_front(&items[slot]);
+          linked[slot] = true;
+        }
+        break;
+      case 2: {
+        ModelItem* got = list.PopFront();
+        ModelItem* expect = model.empty() ? nullptr : model.front();
+        if (!model.empty()) {
+          model.pop_front();
+        }
+        ASSERT_EQ(got, expect) << "step " << step;
+        if (got != nullptr) {
+          linked[static_cast<size_t>(got - items.data())] = false;
+        }
+        break;
+      }
+      default: {
+        bool removed = list.TryRemove(&items[slot]);
+        ASSERT_EQ(removed, linked[slot]) << "step " << step;
+        if (removed) {
+          model.remove(&items[slot]);
+          linked[slot] = false;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(list.Size(), model.size()) << "step " << step;
+    ASSERT_EQ(list.Front(), model.empty() ? nullptr : model.front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntrusiveListModelTest,
+                         ::testing::Values(3u, 77u, 0xfeedfaceu));
+
+// ---- Sync wait queue (Tcb chain) vs std::deque -----------------------------------
+
+class WaitqModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WaitqModelTest, MatchesDeque) {
+  SplitMix64 rng(GetParam());
+  Tcb* head = nullptr;
+  Tcb* tail = nullptr;
+  std::deque<Tcb*> model;
+  constexpr int kSlots = 24;
+  std::vector<Tcb> tcbs(kSlots);
+  std::vector<bool> queued(kSlots, false);
+
+  for (int step = 0; step < 20000; ++step) {
+    int slot = static_cast<int>(rng.NextBounded(kSlots));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        if (!queued[slot]) {
+          WaitqPush(&head, &tail, &tcbs[slot]);
+          model.push_back(&tcbs[slot]);
+          queued[slot] = true;
+        }
+        break;
+      case 1: {
+        Tcb* got = WaitqPop(&head, &tail);
+        Tcb* expect = model.empty() ? nullptr : model.front();
+        if (!model.empty()) {
+          model.pop_front();
+        }
+        ASSERT_EQ(got, expect) << "step " << step;
+        if (got != nullptr) {
+          queued[static_cast<size_t>(got - tcbs.data())] = false;
+        }
+        break;
+      }
+      default: {
+        bool removed = WaitqRemove(&head, &tail, &tcbs[slot]);
+        ASSERT_EQ(removed, queued[slot]) << "step " << step;
+        if (removed) {
+          for (auto it = model.begin(); it != model.end(); ++it) {
+            if (*it == &tcbs[slot]) {
+              model.erase(it);
+              break;
+            }
+          }
+          queued[slot] = false;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(WaitqEmpty(head), model.empty()) << "step " << step;
+    ASSERT_EQ(head, model.empty() ? nullptr : model.front());
+    ASSERT_EQ(tail, model.empty() ? nullptr : model.back());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaitqModelTest, ::testing::Values(5u, 99u, 123456u));
+
+// ---- Semaphore count semantics (single-threaded, no blocking) ----------------------
+
+TEST(SemaModel, TrypAndVMatchCounterModel) {
+  SplitMix64 rng(4242);
+  sema_t sema = {};
+  sema_init(&sema, 5, 0, nullptr);
+  long model = 5;
+  for (int step = 0; step < 50000; ++step) {
+    if (rng.NextBounded(2) == 0) {
+      sema_v(&sema);
+      ++model;
+    } else {
+      int got = sema_tryp(&sema);
+      int expect = model > 0 ? 1 : 0;
+      ASSERT_EQ(got, expect) << "step " << step;
+      if (got) {
+        --model;
+      }
+    }
+  }
+  // Drain to confirm the final count.
+  long remaining = 0;
+  while (sema_tryp(&sema)) {
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, model);
+}
+
+// ---- TlsArena layout properties ----------------------------------------------------
+
+TEST(TlsArenaModel, OffsetsAreAlignedAndDisjoint) {
+  // Runs in a death-test-free child? No: use the test hook directly (no sunmt
+  // threads exist in this binary when this test runs first — enforced by the
+  // binary containing only model tests).
+  TlsArena::ResetForTest();
+  SplitMix64 rng(31337);
+  struct Reservation {
+    size_t offset;
+    size_t size;
+  };
+  std::vector<Reservation> reservations;
+  for (int i = 0; i < 200; ++i) {
+    size_t size = 1 + rng.NextBounded(64);
+    size_t align = size_t{1} << rng.NextBounded(5);  // 1..16
+    size_t offset = TlsArena::Register(size, align);
+    EXPECT_EQ(offset % align, 0u);
+    for (const Reservation& r : reservations) {
+      bool disjoint = offset + size <= r.offset || r.offset + r.size <= offset;
+      ASSERT_TRUE(disjoint) << "overlap at " << offset;
+    }
+    reservations.push_back({offset, size});
+  }
+  size_t frozen = TlsArena::FrozenSize();
+  EXPECT_TRUE(TlsArena::IsFrozen());
+  for (const Reservation& r : reservations) {
+    EXPECT_LE(r.offset + r.size, frozen);
+  }
+  EXPECT_EQ(frozen % 16, 0u);
+}
+
+}  // namespace
+}  // namespace sunmt

@@ -1,0 +1,213 @@
+// Message queue tests: geometry, blocking/try/timed send-receive, MPMC
+// conservation, and cross-process operation through a shared arena.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/core/thread.h"
+#include "src/ipc/fork1.h"
+#include "src/ipc/shared_arena.h"
+#include "src/msgq/message_queue.h"
+#include "src/util/clock.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+MessageQueue* MakeLocalQueue(uint32_t msg_size, uint32_t capacity) {
+  void* memory = calloc(1, MessageQueue::FootprintBytes(msg_size, capacity));
+  return MessageQueue::CreateAt(memory, msg_size, capacity, 0);
+}
+
+TEST(MessageQueue, CreateValidatesArguments) {
+  char memory[1024] = {};
+  EXPECT_EQ(MessageQueue::CreateAt(nullptr, 8, 4, 0), nullptr);
+  EXPECT_EQ(MessageQueue::CreateAt(memory, 0, 4, 0), nullptr);
+  EXPECT_EQ(MessageQueue::CreateAt(memory, 8, 0, 0), nullptr);
+  EXPECT_NE(MessageQueue::CreateAt(memory, 8, 4, 0), nullptr);
+}
+
+TEST(MessageQueue, OpenValidatesMagic) {
+  char garbage[256] = {};
+  EXPECT_EQ(MessageQueue::OpenAt(garbage), nullptr);
+  MessageQueue* q = MakeLocalQueue(16, 4);
+  EXPECT_EQ(MessageQueue::OpenAt(q), q);
+}
+
+TEST(MessageQueue, RoundTripPreservesLengthAndBytes) {
+  MessageQueue* q = MakeLocalQueue(64, 4);
+  const char msg[] = "hello, lwp";
+  ASSERT_TRUE(q->Send(msg, sizeof(msg)));
+  char buf[64] = {};
+  EXPECT_EQ(q->Recv(buf, sizeof(buf)), sizeof(msg));
+  EXPECT_STREQ(buf, msg);
+}
+
+TEST(MessageQueue, RejectsOversizedMessages) {
+  MessageQueue* q = MakeLocalQueue(8, 2);
+  char big[32] = {};
+  EXPECT_FALSE(q->Send(big, sizeof(big)));
+  EXPECT_FALSE(q->TrySend(big, sizeof(big)));
+  EXPECT_FALSE(q->SendTimed(big, sizeof(big), 1000));
+}
+
+TEST(MessageQueue, TruncatingRecvStillReportsFullLength) {
+  MessageQueue* q = MakeLocalQueue(32, 2);
+  const char msg[] = "0123456789";
+  ASSERT_TRUE(q->Send(msg, 10));
+  char tiny[4] = {};
+  EXPECT_EQ(q->Recv(tiny, sizeof(tiny)), 10u);
+  EXPECT_EQ(memcmp(tiny, "0123", 4), 0);
+}
+
+TEST(MessageQueue, TryOpsReflectFullAndEmpty) {
+  MessageQueue* q = MakeLocalQueue(8, 2);
+  int v = 1;
+  EXPECT_TRUE(q->TrySend(&v, sizeof(v)));
+  EXPECT_TRUE(q->TrySend(&v, sizeof(v)));
+  EXPECT_FALSE(q->TrySend(&v, sizeof(v)));  // full
+  EXPECT_EQ(q->ApproxDepth(), 2u);
+  int out;
+  EXPECT_EQ(q->TryRecv(&out, sizeof(out)), sizeof(int));
+  EXPECT_EQ(q->TryRecv(&out, sizeof(out)), sizeof(int));
+  EXPECT_EQ(q->TryRecv(&out, sizeof(out)), SIZE_MAX);  // empty
+}
+
+TEST(MessageQueue, TimedOpsTimeOut) {
+  MessageQueue* q = MakeLocalQueue(8, 1);
+  int v = 7;
+  int64_t start = MonotonicNowNs();
+  char buf[8];
+  EXPECT_EQ(q->RecvTimed(buf, sizeof(buf), 10 * 1000 * 1000), SIZE_MAX);
+  EXPECT_GE(MonotonicNowNs() - start, 9 * 1000 * 1000);
+  ASSERT_TRUE(q->Send(&v, sizeof(v)));
+  start = MonotonicNowNs();
+  EXPECT_FALSE(q->SendTimed(&v, sizeof(v), 10 * 1000 * 1000));  // full
+  EXPECT_GE(MonotonicNowNs() - start, 9 * 1000 * 1000);
+  EXPECT_EQ(q->RecvTimed(buf, sizeof(buf), 10 * 1000 * 1000), sizeof(int));
+}
+
+TEST(MessageQueue, SenderBlocksUntilReceiverDrains) {
+  static MessageQueue* q;
+  q = MakeLocalQueue(8, 1);
+  int v = 1;
+  ASSERT_TRUE(q->Send(&v, sizeof(v)));  // full now
+  static std::atomic<int> sent;
+  sent.store(0);
+  thread_id_t sender = Spawn([&] {
+    int v2 = 2;
+    q->Send(&v2, sizeof(v2));  // blocks
+    sent.store(1);
+  });
+  for (int i = 0; i < 30; ++i) {
+    thread_yield();
+  }
+  EXPECT_EQ(sent.load(), 0);
+  int out = 0;
+  EXPECT_EQ(q->Recv(&out, sizeof(out)), sizeof(int));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(Join(sender));
+  EXPECT_EQ(sent.load(), 1);
+  EXPECT_EQ(q->Recv(&out, sizeof(out)), sizeof(int));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(MessageQueue, MpmcConservation) {
+  static MessageQueue* q;
+  q = MakeLocalQueue(sizeof(long), 8);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr long kPerProducer = 900;
+  static std::atomic<long> sum_in, sum_out, received;
+  sum_in.store(0);
+  sum_out.store(0);
+  received.store(0);
+
+  std::vector<thread_id_t> ids;
+  for (int p = 0; p < kProducers; ++p) {
+    ids.push_back(Spawn([p] {
+      for (long i = 0; i < kPerProducer; ++i) {
+        long value = p * 10000 + i;
+        sum_in.fetch_add(value);
+        q->Send(&value, sizeof(value));
+      }
+    }));
+  }
+  constexpr long kTotal = kProducers * kPerProducer;
+  for (int c = 0; c < kConsumers; ++c) {
+    ids.push_back(Spawn([] {
+      long value;
+      while (received.fetch_add(1) < kTotal) {
+        if (q->RecvTimed(&value, sizeof(value), 2 * 1000 * 1000 * 1000ll) == SIZE_MAX) {
+          break;
+        }
+        sum_out.fetch_add(value);
+      }
+    }));
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(sum_out.load(), sum_in.load());
+}
+
+TEST(MessageQueue, CrossProcessRequestResponse) {
+  SharedArena arena = SharedArena::CreateAnonymous(256 * 1024);
+  void* req_mem = arena.At<char>(
+      arena.Alloc(MessageQueue::FootprintBytes(64, 8), alignof(std::max_align_t)));
+  void* rsp_mem = arena.At<char>(
+      arena.Alloc(MessageQueue::FootprintBytes(64, 8), alignof(std::max_align_t)));
+  MessageQueue* requests = MessageQueue::CreateAt(req_mem, 64, 8, THREAD_SYNC_SHARED);
+  MessageQueue* responses = MessageQueue::CreateAt(rsp_mem, 64, 8, THREAD_SYNC_SHARED);
+  ASSERT_NE(requests, nullptr);
+  ASSERT_NE(responses, nullptr);
+  constexpr int kRounds = 400;
+
+  pid_t pid = fork1();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Server process: uppercase echo until "QUIT".
+    MessageQueue* in = MessageQueue::OpenAt(req_mem);
+    MessageQueue* out = MessageQueue::OpenAt(rsp_mem);
+    if (in == nullptr || out == nullptr) {
+      _exit(20);
+    }
+    char buf[64];
+    for (;;) {
+      size_t len = in->Recv(buf, sizeof(buf));
+      if (len == 4 && memcmp(buf, "QUIT", 4) == 0) {
+        _exit(0);
+      }
+      for (size_t i = 0; i < len; ++i) {
+        buf[i] = static_cast<char>(buf[i] - 'a' + 'A');
+      }
+      out->Send(buf, len);
+    }
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    char msg[16];
+    int len = snprintf(msg, sizeof(msg), "msg%c", 'a' + (i % 26));
+    ASSERT_TRUE(requests->Send(msg, static_cast<size_t>(len)));
+    char reply[64];
+    size_t got = responses->Recv(reply, sizeof(reply));
+    ASSERT_EQ(got, static_cast<size_t>(len));
+    EXPECT_EQ(reply[0], 'M');
+  }
+  ASSERT_TRUE(requests->Send("QUIT", 4));
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace sunmt

@@ -1,0 +1,146 @@
+// Time-slice preemption tests. This binary configures a 5ms timeslice and one
+// pool LWP, then checks that CPU-bound unbound threads share the LWP through
+// safe-point preemption without any voluntary thread_yield().
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/runtime.h"
+#include "src/core/thread.h"
+#include "src/introspect/introspect.h"
+#include "src/rlimit/rlimit.h"
+#include "src/signal/signal.h"
+#include "src/sync/sync.h"
+#include "src/util/clock.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+TEST(Preempt, CpuBoundThreadsShareOneLwp) {
+  thread_setconcurrency(1);
+  // Two CPU hogs that never yield; they only pass safe points via thread_poll.
+  // With preemption they interleave; without it the first would finish alone.
+  static std::atomic<long> progress_a, progress_b;
+  static std::atomic<bool> done_a, done_b;
+  static std::atomic<bool> overlapped;
+  progress_a.store(0);
+  progress_b.store(0);
+  done_a.store(false);
+  done_b.store(false);
+  overlapped.store(false);
+
+  constexpr long kWork = 60L * 1000 * 1000;
+  thread_id_t a = Spawn([&] {
+    volatile long sink = 0;
+    for (long i = 0; i < kWork; ++i) {
+      sink = sink + 1;
+      if (i % 4096 == 0) {
+        progress_a.store(i);
+        if (progress_b.load() > 0 && !done_b.load()) {
+          overlapped.store(true);
+        }
+        thread_poll();  // safe point: preemption can land here
+      }
+    }
+    done_a.store(true);
+  });
+  thread_id_t b = Spawn([&] {
+    volatile long sink = 0;
+    for (long i = 0; i < kWork; ++i) {
+      sink = sink + 1;
+      if (i % 4096 == 0) {
+        progress_b.store(i);
+        if (progress_a.load() > 0 && !done_a.load()) {
+          overlapped.store(true);
+        }
+        thread_poll();
+      }
+    }
+    done_b.store(true);
+  });
+  EXPECT_TRUE(Join(a));
+  EXPECT_TRUE(Join(b));
+  EXPECT_TRUE(done_a.load());
+  EXPECT_TRUE(done_b.load());
+  // Both made progress while the other was still running: they timesliced.
+  EXPECT_TRUE(overlapped.load()) << "threads ran strictly serially: no preemption";
+  // The scheduler accounted the forced switches as preemptions.
+  EXPECT_GT(SnapshotSchedStats().preemptions, 0u);
+  thread_setconcurrency(0);
+}
+
+TEST(Preempt, BoundThreadsAreNotPreemptedByThePackage) {
+  // A bound thread owns its LWP; thread_poll on it must not requeue anything.
+  static std::atomic<bool> ran;
+  ran.store(false);
+  thread_id_t bound = Spawn(
+      [&] {
+        volatile long sink = 0;
+        for (long i = 0; i < 30L * 1000 * 1000; ++i) {
+          sink = sink + 1;
+          if (i % 65536 == 0) {
+            thread_poll();
+          }
+        }
+        ran.store(true);
+      },
+      THREAD_WAIT | THREAD_BIND_LWP);
+  EXPECT_TRUE(Join(bound));
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(RlimitExt, ProcessRusageSumsLwps) {
+  ProcessUsage usage = process_rusage();
+  EXPECT_GE(usage.lwps, 1);
+  EXPECT_GT(usage.user_ns, 0);
+  // Burn CPU and observe the sum grow.
+  volatile long sink = 0;
+  for (long i = 0; i < 20L * 1000 * 1000; ++i) {
+    sink = sink + 1;
+  }
+  ProcessUsage after = process_rusage();
+  EXPECT_GT(after.user_ns, usage.user_ns);
+}
+
+std::atomic<int> g_xcpu{0};
+void XcpuHandler(int sig) {
+  EXPECT_EQ(sig, SIG_XCPU);
+  g_xcpu.fetch_add(1);
+}
+
+TEST(RlimitExt, SoftCpuLimitDeliversSigXcpu) {
+  g_xcpu.store(0);
+  signal_handler_set(SIG_XCPU, &XcpuHandler);
+  ProcessUsage now = process_rusage();
+  // Arm a limit just above current usage, then burn through it.
+  process_set_cpu_limit(now.user_ns + 20 * 1000 * 1000, SIG_XCPU);
+  int64_t deadline = MonotonicNowNs() + 5 * 1000 * 1000 * 1000ll;
+  volatile long sink = 0;
+  while (g_xcpu.load() == 0 && MonotonicNowNs() < deadline) {
+    for (long i = 0; i < 1000000; ++i) {
+      sink = sink + 1;
+    }
+    thread_poll();  // the delivered signal lands at a safe point
+  }
+  EXPECT_EQ(g_xcpu.load(), 1);
+  EXPECT_TRUE(process_cpu_limit_exceeded());
+  process_set_cpu_limit(0, SIG_XCPU);
+  signal_handler_set(SIG_XCPU, SIG_DEFAULT);
+}
+
+}  // namespace
+}  // namespace sunmt
+
+int main(int argc, char** argv) {
+  sunmt::RuntimeConfig config;
+  config.initial_pool_lwps = 1;
+  config.preempt_timeslice_ns = 5 * 1000 * 1000;  // 5ms slices
+  sunmt::Runtime::Configure(config);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

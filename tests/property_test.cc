@@ -1,0 +1,298 @@
+// Additional parameterized property sweeps across sync facilities: condvar
+// wake-counting, timed-wait outcome accounting, rwlock conversion storms, and
+// cross-variant pipelines. Complements the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+#include "src/core/thread.h"
+#include "src/sync/sync.h"
+#include "src/timer/timer.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+// ---- Condvar wake counting: N waiters, M signals + 1 broadcast ------------------
+// Property: every waiter eventually wakes; signals wake at most one each.
+class CondvarWakeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CondvarWakeTest, SignalsWakeAtMostOneEach) {
+  const int variant = std::get<0>(GetParam());
+  const int waiters = std::get<1>(GetParam());
+
+  static mutex_t mu;
+  static condvar_t cv;
+  static std::atomic<int> waiting, woken;
+  static bool go;
+  mutex_init(&mu, 0, nullptr);
+  cv_init(&cv, variant, nullptr);
+  waiting.store(0);
+  woken.store(0);
+  go = false;
+
+  std::vector<thread_id_t> ids;
+  for (int i = 0; i < waiters; ++i) {
+    ids.push_back(Spawn([&] {
+      mutex_enter(&mu);
+      waiting.fetch_add(1);
+      while (!go) {
+        cv_wait(&cv, &mu);
+      }
+      mutex_exit(&mu);
+      woken.fetch_add(1);
+    }));
+  }
+  while (waiting.load() < waiters) {
+    thread_yield();
+  }
+  for (int i = 0; i < 30; ++i) {
+    thread_yield();
+  }
+  // Signals without the condition set: waiters re-test and re-block.
+  for (int s = 0; s < waiters / 2; ++s) {
+    mutex_enter(&mu);
+    cv_signal(&cv);
+    mutex_exit(&mu);
+  }
+  for (int i = 0; i < 50; ++i) {
+    thread_yield();
+  }
+  EXPECT_EQ(woken.load(), 0);  // condition still false: nobody escaped
+  mutex_enter(&mu);
+  go = true;
+  cv_broadcast(&cv);
+  mutex_exit(&mu);
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(woken.load(), waiters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndCounts, CondvarWakeTest,
+    ::testing::Combine(::testing::Values(0, THREAD_SYNC_SHARED),
+                       ::testing::Values(1, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "local" : "shared") + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- Timed-wait outcome accounting -----------------------------------------------
+// Property: with W waiters, S < W signals before the deadline, exactly S wake
+// with success and W-S time out (local variant: no spurious wakeups).
+class TimedWaitAccountingTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TimedWaitAccountingTest, ExactOutcomeSplit) {
+  const int waiters = std::get<0>(GetParam());
+  const int signals = std::get<1>(GetParam());
+  ASSERT_LE(signals, waiters);
+
+  static sema_t sem;
+  sema_init(&sem, 0, 0, nullptr);
+  static std::atomic<int> succeeded, timed_out, started;
+  succeeded.store(0);
+  timed_out.store(0);
+  started.store(0);
+
+  std::vector<thread_id_t> ids;
+  for (int i = 0; i < waiters; ++i) {
+    ids.push_back(Spawn([&] {
+      started.fetch_add(1);
+      if (sema_p_timed(&sem, 30 * 1000 * 1000)) {
+        succeeded.fetch_add(1);
+      } else {
+        timed_out.fetch_add(1);
+      }
+    }));
+  }
+  while (started.load() < waiters) {
+    thread_yield();
+  }
+  thread_sleep_ms(2);  // let them block
+  for (int s = 0; s < signals; ++s) {
+    sema_v(&sem);
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(succeeded.load(), signals);
+  EXPECT_EQ(timed_out.load(), waiters - signals);
+  EXPECT_EQ(sema_tryp(&sem), 0);  // nothing banked
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TimedWaitAccountingTest,
+                         ::testing::Values(std::make_tuple(1, 0), std::make_tuple(1, 1),
+                                           std::make_tuple(4, 2), std::make_tuple(6, 0),
+                                           std::make_tuple(6, 6)),
+                         [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+                           return "w" + std::to_string(std::get<0>(info.param)) + "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ---- Rwlock conversion storm --------------------------------------------------------
+// Property: random enter/downgrade/tryupgrade sequences never violate the
+// exclusion invariant and never deadlock.
+class RwlockConversionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RwlockConversionTest, ConversionsKeepInvariant) {
+  static rwlock_t rw;
+  rw_init(&rw, 0, nullptr);
+  static std::atomic<int> readers, writers;
+  static std::atomic<bool> violation;
+  readers.store(0);
+  writers.store(0);
+  violation.store(false);
+  constexpr int kThreads = 6;
+  constexpr int kOps = 400;
+
+  std::vector<thread_id_t> ids;
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t seed = GetParam() * 1000 + t;
+    ids.push_back(Spawn([seed] {
+      SplitMix64 rng(seed);
+      for (int i = 0; i < kOps; ++i) {
+        switch (rng.NextBounded(3)) {
+          case 0: {  // plain read
+            rw_enter(&rw, RW_READER);
+            readers.fetch_add(1);
+            if (writers.load() != 0) {
+              violation.store(true);
+            }
+            readers.fetch_sub(1);
+            rw_exit(&rw);
+            break;
+          }
+          case 1: {  // write, then downgrade and read a bit
+            rw_enter(&rw, RW_WRITER);
+            if (writers.fetch_add(1) != 0 || readers.load() != 0) {
+              violation.store(true);
+            }
+            writers.fetch_sub(1);
+            rw_downgrade(&rw);
+            readers.fetch_add(1);
+            if (writers.load() != 0) {
+              violation.store(true);
+            }
+            readers.fetch_sub(1);
+            rw_exit(&rw);
+            break;
+          }
+          default: {  // read, then try to upgrade
+            rw_enter(&rw, RW_READER);
+            readers.fetch_add(1);
+            readers.fetch_sub(1);
+            if (rw_tryupgrade(&rw)) {
+              if (writers.fetch_add(1) != 0 || readers.load() != 0) {
+                violation.store(true);
+              }
+              writers.fetch_sub(1);
+            }
+            rw_exit(&rw);
+            break;
+          }
+        }
+        if (i % 32 == 0) {
+          thread_yield();
+        }
+      }
+    }));
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_FALSE(violation.load());
+  // Fully released afterwards:
+  EXPECT_EQ(rw_tryenter(&rw, RW_WRITER), 1);
+  rw_exit(&rw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RwlockConversionTest, ::testing::Values(11u, 22u, 33u));
+
+// ---- Mixed-variant pipeline ---------------------------------------------------------
+// Property: a 3-stage pipeline (sema -> cv monitor -> shared sema) conserves
+// and orders items end to end.
+TEST(PipelineProperty, ThreeStageConservesAndOrders) {
+  constexpr int kItems = 1500;
+  constexpr size_t kCap = 16;
+
+  struct Stage1 {  // sema-guarded ring
+    sema_t empty, full;
+    int ring[kCap];
+    size_t head = 0, tail = 0;
+  };
+  struct Stage2 {  // cv monitor queue
+    mutex_t mu;
+    condvar_t cv;
+    int ring[kCap];
+    size_t head = 0, tail = 0, count = 0;
+  };
+  static Stage1 s1;
+  static Stage2 s2;
+  static sema_t s3_tokens;  // shared-variant sema counting completions
+  s1.head = s1.tail = 0;
+  s2.head = s2.tail = s2.count = 0;
+  sema_init(&s1.empty, kCap, 0, nullptr);
+  sema_init(&s1.full, 0, 0, nullptr);
+  mutex_init(&s2.mu, 0, nullptr);
+  cv_init(&s2.cv, 0, nullptr);
+  sema_init(&s3_tokens, 0, THREAD_SYNC_SHARED, nullptr);
+  static std::vector<int>* sink_ptr;
+  std::vector<int> sink;
+  sink_ptr = &sink;
+
+  thread_id_t mover = Spawn([&] {  // stage 1 -> stage 2
+    for (int i = 0; i < kItems; ++i) {
+      sema_p(&s1.full);
+      int v = s1.ring[s1.head++ % kCap];
+      sema_v(&s1.empty);
+      mutex_enter(&s2.mu);
+      // Single mover: never overfills (kCap bound enforced by stage 1 + drain).
+      while (s2.count == kCap) {
+        cv_wait(&s2.cv, &s2.mu);
+      }
+      s2.ring[s2.tail++ % kCap] = v;
+      ++s2.count;
+      cv_broadcast(&s2.cv);
+      mutex_exit(&s2.mu);
+    }
+  });
+  thread_id_t drainer = Spawn([&] {  // stage 2 -> sink
+    for (int i = 0; i < kItems; ++i) {
+      mutex_enter(&s2.mu);
+      while (s2.count == 0) {
+        cv_wait(&s2.cv, &s2.mu);
+      }
+      sink_ptr->push_back(s2.ring[s2.head++ % kCap]);
+      --s2.count;
+      cv_broadcast(&s2.cv);
+      mutex_exit(&s2.mu);
+      sema_v(&s3_tokens);
+    }
+  });
+  // Producer (this thread).
+  for (int i = 0; i < kItems; ++i) {
+    sema_p(&s1.empty);
+    s1.ring[s1.tail++ % kCap] = i;
+    sema_v(&s1.full);
+  }
+  for (int i = 0; i < kItems; ++i) {
+    sema_p(&s3_tokens);
+  }
+  EXPECT_TRUE(Join(mover));
+  EXPECT_TRUE(Join(drainer));
+  ASSERT_EQ(sink.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(sink[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace sunmt

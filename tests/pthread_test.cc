@@ -1,0 +1,269 @@
+// Pthreads-compatibility-layer tests.
+
+#include <errno.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/pthread/pthread_compat.h"
+
+namespace sunmt {
+namespace {
+
+void* ReturnArg(void* arg) { return arg; }
+
+TEST(PtThread, CreateJoinReturnsValue) {
+  pt_t thread;
+  int payload = 7;
+  ASSERT_EQ(pt_create(&thread, nullptr, &ReturnArg, &payload), 0);
+  void* result = nullptr;
+  ASSERT_EQ(pt_join(thread, &result), 0);
+  EXPECT_EQ(result, &payload);
+}
+
+TEST(PtThread, JoinWithNullRetvalWorks) {
+  pt_t thread;
+  ASSERT_EQ(pt_create(&thread, nullptr, &ReturnArg, nullptr), 0);
+  EXPECT_EQ(pt_join(thread, nullptr), 0);
+}
+
+TEST(PtThread, DoubleJoinFails) {
+  pt_t thread;
+  ASSERT_EQ(pt_create(&thread, nullptr, &ReturnArg, nullptr), 0);
+  EXPECT_EQ(pt_join(thread, nullptr), 0);
+  EXPECT_EQ(pt_join(thread, nullptr), ESRCH);
+}
+
+TEST(PtThread, JoinSelfDeadlocks) { EXPECT_EQ(pt_join(pt_self(), nullptr), EDEADLK); }
+
+TEST(PtThread, JoinUnknownFails) { EXPECT_EQ(pt_join(424242, nullptr), ESRCH); }
+
+TEST(PtThread, CreateValidatesArguments) {
+  EXPECT_EQ(pt_create(nullptr, nullptr, &ReturnArg, nullptr), EINVAL);
+  pt_t thread;
+  EXPECT_EQ(pt_create(&thread, nullptr, nullptr, nullptr), EINVAL);
+}
+
+void* ExitsEarly(void*) {
+  pt_exit(reinterpret_cast<void*>(0x1234));
+}
+
+TEST(PtThread, PtExitCarriesReturnValue) {
+  pt_t thread;
+  ASSERT_EQ(pt_create(&thread, nullptr, &ExitsEarly, nullptr), 0);
+  void* result = nullptr;
+  ASSERT_EQ(pt_join(thread, &result), 0);
+  EXPECT_EQ(result, reinterpret_cast<void*>(0x1234));
+}
+
+std::atomic<int> g_detached_ran{0};
+
+void* DetachedBody(void*) {
+  g_detached_ran.fetch_add(1);
+  return nullptr;
+}
+
+TEST(PtThread, DetachedThreadsRunAndAreReaped) {
+  g_detached_ran.store(0);
+  (void)pt_self();  // ensure the main thread is adopted before the baseline
+  size_t base_threads = Runtime::Get().ThreadCount();
+  pt_attr_t attr;
+  pt_attr_init(&attr);
+  ASSERT_EQ(pt_attr_setdetachstate(&attr, PT_CREATE_DETACHED), 0);
+  pt_t thread;
+  ASSERT_EQ(pt_create(&thread, &attr, &DetachedBody, nullptr), 0);
+  // Joining a detached thread is an error: EINVAL while it lives, ESRCH if the
+  // reaper already collected it (POSIX leaves this undefined; we diagnose).
+  int join_rc = pt_join(thread, nullptr);
+  EXPECT_TRUE(join_rc == EINVAL || join_rc == ESRCH) << join_rc;
+  // Wait for the thread + its reaper to drain.
+  for (int i = 0; i < 500 && (g_detached_ran.load() == 0 ||
+                              Runtime::Get().ThreadCount() > base_threads);
+       ++i) {
+    pt_yield();
+    struct timespec ts = {0, 2 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  EXPECT_EQ(g_detached_ran.load(), 1);
+  EXPECT_LE(Runtime::Get().ThreadCount(), base_threads);
+}
+
+TEST(PtThread, DetachAfterCreate) {
+  static std::atomic<bool> release;
+  release.store(false);
+  pt_t thread;
+  ASSERT_EQ(pt_create(
+                &thread, nullptr,
+                [](void*) -> void* {
+                  while (!release.load()) {
+                    pt_yield();
+                  }
+                  return nullptr;
+                },
+                nullptr),
+            0);
+  EXPECT_EQ(pt_detach(thread), 0);
+  EXPECT_EQ(pt_detach(thread), EINVAL);      // double detach
+  EXPECT_EQ(pt_join(thread, nullptr), EINVAL);  // now unjoinable
+  release.store(true);
+  for (int i = 0; i < 100; ++i) {
+    pt_yield();
+  }
+}
+
+TEST(PtThread, SystemScopeIsBound) {
+  pt_attr_t attr;
+  pt_attr_init(&attr);
+  ASSERT_EQ(pt_attr_setscope(&attr, PT_SCOPE_SYSTEM), 0);
+  int pool_before = Runtime::Get().pool_size();
+  pt_t thread;
+  ASSERT_EQ(pt_create(&thread, &attr, &ReturnArg, nullptr), 0);
+  EXPECT_EQ(pt_join(thread, nullptr), 0);
+  EXPECT_EQ(Runtime::Get().pool_size(), pool_before);  // bound LWPs are separate
+}
+
+TEST(PtThread, EqualAndSelf) {
+  EXPECT_EQ(pt_equal(pt_self(), pt_self()), 1);
+  EXPECT_EQ(pt_equal(pt_self(), pt_self() + 1), 0);
+}
+
+TEST(PtAttr, Validation) {
+  pt_attr_t attr;
+  pt_attr_init(&attr);
+  EXPECT_EQ(pt_attr_setdetachstate(&attr, 99), EINVAL);
+  EXPECT_EQ(pt_attr_setscope(&attr, 99), EINVAL);
+  EXPECT_EQ(pt_attr_setstacksize(&attr, 100), EINVAL);
+  EXPECT_EQ(pt_attr_setstacksize(&attr, 1 << 20), 0);
+  EXPECT_EQ(pt_attr_setstack(&attr, nullptr, 1 << 20), EINVAL);
+  EXPECT_EQ(pt_attr_setpriority(&attr, -2), EINVAL);
+  EXPECT_EQ(pt_attr_setpriority(&attr, 80), 0);
+}
+
+std::atomic<int> g_once_count{0};
+void OnceInit() { g_once_count.fetch_add(1); }
+
+TEST(PtOnce, RunsExactlyOnceAcrossThreads) {
+  g_once_count.store(0);
+  static pt_once_t once;
+  constexpr int kThreads = 8;
+  std::vector<pt_t> threads(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_EQ(pt_create(
+                  &threads[i], nullptr,
+                  [](void*) -> void* {
+                    pt_once(&once, &OnceInit);
+                    EXPECT_EQ(g_once_count.load(), 1);  // visible after pt_once
+                    return nullptr;
+                  },
+                  nullptr),
+              0);
+  }
+  for (pt_t t : threads) {
+    EXPECT_EQ(pt_join(t, nullptr), 0);
+  }
+  EXPECT_EQ(g_once_count.load(), 1);
+}
+
+TEST(PtMutex, LockUnlockTrylock) {
+  pt_mutex_t mu;
+  ASSERT_EQ(pt_mutex_init(&mu, nullptr), 0);
+  EXPECT_EQ(pt_mutex_lock(&mu), 0);
+  EXPECT_EQ(pt_mutex_trylock(&mu), EBUSY);
+  EXPECT_EQ(pt_mutex_unlock(&mu), 0);
+  EXPECT_EQ(pt_mutex_trylock(&mu), 0);
+  EXPECT_EQ(pt_mutex_unlock(&mu), 0);
+  EXPECT_EQ(pt_mutex_destroy(&mu), 0);
+}
+
+TEST(PtMutex, ProtectsCounterAcrossThreads) {
+  static pt_mutex_t mu;
+  pt_mutex_init(&mu, nullptr);
+  static long counter;
+  counter = 0;
+  constexpr int kThreads = 4;
+  std::vector<pt_t> threads(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_EQ(pt_create(
+                  &threads[i], nullptr,
+                  [](void*) -> void* {
+                    for (int j = 0; j < 2000; ++j) {
+                      pt_mutex_lock(&mu);
+                      ++counter;
+                      pt_mutex_unlock(&mu);
+                    }
+                    return nullptr;
+                  },
+                  nullptr),
+              0);
+  }
+  for (pt_t t : threads) {
+    EXPECT_EQ(pt_join(t, nullptr), 0);
+  }
+  EXPECT_EQ(counter, kThreads * 2000);
+}
+
+TEST(PtCond, ProducerConsumer) {
+  static pt_mutex_t mu;
+  static pt_cond_t cv;
+  static int available;
+  pt_mutex_init(&mu, nullptr);
+  pt_cond_init(&cv, nullptr);
+  available = 0;
+  pt_t consumer;
+  static long consumed;
+  consumed = 0;
+  ASSERT_EQ(pt_create(
+                &consumer, nullptr,
+                [](void*) -> void* {
+                  for (int i = 0; i < 100; ++i) {
+                    pt_mutex_lock(&mu);
+                    while (available == 0) {
+                      pt_cond_wait(&cv, &mu);
+                    }
+                    --available;
+                    ++consumed;
+                    pt_mutex_unlock(&mu);
+                  }
+                  return nullptr;
+                },
+                nullptr),
+            0);
+  for (int i = 0; i < 100; ++i) {
+    pt_mutex_lock(&mu);
+    ++available;
+    pt_cond_signal(&cv);
+    pt_mutex_unlock(&mu);
+    pt_yield();
+  }
+  EXPECT_EQ(pt_join(consumer, nullptr), 0);
+  EXPECT_EQ(consumed, 100);
+}
+
+TEST(PtRwlock, ReadSharedWriteExclusive) {
+  pt_rwlock_t rw;
+  ASSERT_EQ(pt_rwlock_init(&rw, 0), 0);
+  EXPECT_EQ(pt_rwlock_rdlock(&rw), 0);
+  EXPECT_EQ(pt_rwlock_tryrdlock(&rw), 0);
+  EXPECT_EQ(pt_rwlock_trywrlock(&rw), EBUSY);
+  EXPECT_EQ(pt_rwlock_unlock(&rw), 0);
+  EXPECT_EQ(pt_rwlock_unlock(&rw), 0);
+  EXPECT_EQ(pt_rwlock_wrlock(&rw), 0);
+  EXPECT_EQ(pt_rwlock_tryrdlock(&rw), EBUSY);
+  EXPECT_EQ(pt_rwlock_unlock(&rw), 0);
+  EXPECT_EQ(pt_rwlock_destroy(&rw), 0);
+}
+
+TEST(PtKeys, SpecificDataRoundTrip) {
+  pt_key_t key;
+  ASSERT_EQ(pt_key_create(&key, nullptr), 0);
+  EXPECT_EQ(pt_getspecific(key), nullptr);
+  int value = 3;
+  EXPECT_EQ(pt_setspecific(key, &value), 0);
+  EXPECT_EQ(pt_getspecific(key), &value);
+  EXPECT_EQ(pt_key_create(nullptr, nullptr), EINVAL);
+}
+
+}  // namespace
+}  // namespace sunmt

@@ -1,0 +1,305 @@
+// Signal model tests: masks, traps vs interrupts, thread_kill/sigsend, pending
+// and coalescing semantics, handler masking, default actions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/thread.h"
+#include "src/signal/signal.h"
+#include "src/sync/sync.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+// Per-test handler scratch (handlers must be plain functions).
+std::atomic<int> g_handled_sig{0};
+std::atomic<int> g_handle_count{0};
+std::atomic<uint64_t> g_handler_thread{0};
+std::atomic<uint64_t> g_mask_inside_handler{0};
+
+void RecordingHandler(int sig) {
+  g_handled_sig.store(sig);
+  g_handle_count.fetch_add(1);
+  g_handler_thread.store(thread_get_id());
+  sigset64_t current = 0;
+  thread_sigsetmask(SIGMASK_BLOCK, nullptr, &current);
+  g_mask_inside_handler.store(current);
+}
+
+void ResetHandlerState() {
+  g_handled_sig.store(0);
+  g_handle_count.store(0);
+  g_handler_thread.store(0);
+  g_mask_inside_handler.store(0);
+}
+
+class SignalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetHandlerState();
+    signal_handler_set(SIG_USR1, SIG_DEFAULT);
+    signal_handler_set(SIG_USR2, SIG_DEFAULT);
+    signal_handler_set(SIG_FPE, SIG_DEFAULT);
+    sigset64_t none = ~sigset64_t{0};
+    thread_sigsetmask(SIGMASK_UNBLOCK, &none, nullptr);
+  }
+};
+
+TEST_F(SignalTest, HandlerInstallReturnsPrevious) {
+  EXPECT_EQ(signal_handler_set(SIG_USR1, &RecordingHandler), SIG_DEFAULT);
+  EXPECT_EQ(signal_handler_get(SIG_USR1), &RecordingHandler);
+  EXPECT_EQ(signal_handler_set(SIG_USR1, SIG_IGNORE), &RecordingHandler);
+  EXPECT_EQ(signal_handler_set(SIG_USR1, SIG_DEFAULT), SIG_IGNORE);
+}
+
+TEST_F(SignalTest, SelfKillDeliversImmediately) {
+  signal_handler_set(SIG_USR1, &RecordingHandler);
+  EXPECT_EQ(thread_kill(thread_get_id(), SIG_USR1), 0);
+  EXPECT_EQ(g_handled_sig.load(), SIG_USR1);
+  EXPECT_EQ(g_handler_thread.load(), thread_get_id());
+}
+
+TEST_F(SignalTest, KillUnknownThreadFails) {
+  EXPECT_EQ(thread_kill(77777777, SIG_USR1), -1);
+  EXPECT_EQ(thread_kill(thread_get_id(), 0), -1);
+  EXPECT_EQ(thread_kill(thread_get_id(), 65), -1);
+}
+
+TEST_F(SignalTest, DirectedSignalHandledByTargetThreadOnly) {
+  // thread_kill "behaves like a trap and can be handled only by the specified
+  // thread" — even when other threads have it unmasked.
+  signal_handler_set(SIG_USR1, &RecordingHandler);
+  static sema_t started, release;
+  sema_init(&started, 0, 0, nullptr);
+  sema_init(&release, 0, 0, nullptr);
+  thread_id_t target = Spawn([&] {
+    sema_v(&started);
+    sema_p(&release);   // comes back runnable with the signal pending
+    signal_poll();      // safe point: delivery happens here at the latest
+  });
+  sema_p(&started);
+  EXPECT_EQ(thread_kill(target, SIG_USR1), 0);
+  sema_v(&release);
+  EXPECT_TRUE(Join(target));
+  EXPECT_EQ(g_handle_count.load(), 1);
+  EXPECT_EQ(g_handler_thread.load(), target);
+}
+
+TEST_F(SignalTest, MaskDefersDeliveryUntilUnmask) {
+  signal_handler_set(SIG_USR1, &RecordingHandler);
+  sigset64_t bit = SigBit(SIG_USR1);
+  thread_sigsetmask(SIGMASK_BLOCK, &bit, nullptr);
+  EXPECT_EQ(thread_kill(thread_get_id(), SIG_USR1), 0);
+  signal_poll();
+  EXPECT_EQ(g_handle_count.load(), 0);  // masked: still pending
+  thread_sigsetmask(SIGMASK_UNBLOCK, &bit, nullptr);
+  EXPECT_EQ(g_handle_count.load(), 1);  // delivered on unmask
+}
+
+TEST_F(SignalTest, SignalMaskedDuringItsOwnHandler) {
+  signal_handler_set(SIG_USR1, &RecordingHandler);
+  thread_kill(thread_get_id(), SIG_USR1);
+  EXPECT_EQ(g_handle_count.load(), 1);
+  EXPECT_NE(g_mask_inside_handler.load() & SigBit(SIG_USR1), 0u)
+      << "the delivered signal must be blocked while its handler runs";
+  sigset64_t after = 0;
+  thread_sigsetmask(SIGMASK_BLOCK, nullptr, &after);
+  EXPECT_EQ(after & SigBit(SIG_USR1), 0u) << "mask restored after the handler";
+}
+
+TEST_F(SignalTest, ProcessInterruptChoosesUnmaskedThread) {
+  signal_handler_set(SIG_USR2, &RecordingHandler);
+  // Main masks USR2; a worker leaves it open — the worker must get it.
+  sigset64_t bit = SigBit(SIG_USR2);
+  thread_sigsetmask(SIGMASK_BLOCK, &bit, nullptr);
+  static sema_t ready, release;
+  sema_init(&ready, 0, 0, nullptr);
+  sema_init(&release, 0, 0, nullptr);
+  thread_id_t worker = Spawn([&] {
+    // The mask is inherited from the (masked) creator; open USR2 explicitly.
+    sigset64_t unblock = SigBit(SIG_USR2);
+    thread_sigsetmask(SIGMASK_UNBLOCK, &unblock, nullptr);
+    sema_v(&ready);
+    sema_p(&release);
+    signal_poll();
+  });
+  sema_p(&ready);
+  EXPECT_EQ(signal_raise_process(SIG_USR2), 0);
+  sema_v(&release);
+  EXPECT_TRUE(Join(worker));
+  EXPECT_EQ(g_handle_count.load(), 1);
+  EXPECT_EQ(g_handler_thread.load(), worker);
+  thread_sigsetmask(SIGMASK_UNBLOCK, &bit, nullptr);
+}
+
+TEST_F(SignalTest, FullyMaskedInterruptPendsOnProcess) {
+  // "If all threads mask a signal, it will pend on the process until a thread
+  // unmasks that signal."
+  signal_handler_set(SIG_USR2, &RecordingHandler);
+  sigset64_t bit = SigBit(SIG_USR2);
+  thread_sigsetmask(SIGMASK_BLOCK, &bit, nullptr);
+  // (Only the main thread exists right now.)
+  EXPECT_EQ(signal_raise_process(SIG_USR2), 0);
+  EXPECT_EQ(g_handle_count.load(), 0);
+  thread_sigsetmask(SIGMASK_UNBLOCK, &bit, nullptr);  // claim + deliver
+  EXPECT_EQ(g_handle_count.load(), 1);
+}
+
+TEST_F(SignalTest, PendingSignalsCoalesce) {
+  // Non-queuing: N sends of one pending signal deliver at most once.
+  signal_handler_set(SIG_USR1, &RecordingHandler);
+  sigset64_t bit = SigBit(SIG_USR1);
+  thread_sigsetmask(SIGMASK_BLOCK, &bit, nullptr);
+  uint64_t before = signal_coalesced_count();
+  for (int i = 0; i < 5; ++i) {
+    thread_kill(thread_get_id(), SIG_USR1);
+  }
+  EXPECT_EQ(signal_coalesced_count(), before + 4);
+  thread_sigsetmask(SIGMASK_UNBLOCK, &bit, nullptr);
+  EXPECT_EQ(g_handle_count.load(), 1);
+}
+
+TEST_F(SignalTest, SigsendAllReachesEveryThread) {
+  signal_handler_set(SIG_USR1, &RecordingHandler);
+  static std::atomic<int> polled;
+  polled.store(0);
+  static sema_t ready, release;
+  sema_init(&ready, 0, 0, nullptr);
+  sema_init(&release, 0, 0, nullptr);
+  constexpr int kThreads = 3;
+  std::vector<thread_id_t> ids;
+  for (int i = 0; i < kThreads; ++i) {
+    ids.push_back(Spawn([&] {
+      sema_v(&ready);
+      sema_p(&release);
+      signal_poll();
+      polled.fetch_add(1);
+    }));
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    sema_p(&ready);
+  }
+  sigset64_t bit = SigBit(SIG_USR1);
+  thread_sigsetmask(SIGMASK_BLOCK, &bit, nullptr);  // keep main out of it
+  EXPECT_EQ(sigsend(P_THREAD_ALL, 0, SIG_USR1), 0);
+  for (int i = 0; i < kThreads; ++i) {
+    sema_v(&release);
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(g_handle_count.load(), kThreads);
+  thread_sigsetmask(SIGMASK_UNBLOCK, &bit, nullptr);
+  // Main still has it pending from sigsend-all; deliver and account for it.
+  EXPECT_EQ(g_handle_count.load(), kThreads + 1);
+}
+
+TEST_F(SignalTest, TrapsAreSynchronousToTheCausingThread) {
+  signal_handler_set(SIG_FPE, &RecordingHandler);
+  EXPECT_TRUE(signal_is_trap(SIG_FPE));
+  EXPECT_FALSE(signal_is_trap(SIG_USR1));
+  EXPECT_EQ(signal_raise_trap(SIG_FPE), 0);
+  EXPECT_EQ(g_handled_sig.load(), SIG_FPE);
+  EXPECT_EQ(g_handler_thread.load(), thread_get_id());
+  EXPECT_EQ(signal_raise_trap(SIG_USR1), -1);  // not a trap
+}
+
+TEST_F(SignalTest, IgnoredSignalsAreDropped) {
+  signal_handler_set(SIG_USR1, SIG_IGNORE);
+  EXPECT_EQ(thread_kill(thread_get_id(), SIG_USR1), 0);
+  EXPECT_EQ(g_handle_count.load(), 0);
+}
+
+TEST_F(SignalTest, DefaultIgnoreSignalsAreDropped) {
+  // SIGCHLD / SIGWAITING default to ignore.
+  EXPECT_EQ(thread_kill(thread_get_id(), SIG_CHLD), 0);
+  EXPECT_EQ(thread_kill(thread_get_id(), SIG_WAITING), 0);
+  SUCCEED();  // still alive: default action was ignore, not exit
+}
+
+TEST_F(SignalTest, InheritedMaskAtCreate) {
+  // "The initial thread priority and signal mask is set to the same values as
+  // its creator."
+  sigset64_t bit = SigBit(SIG_USR2);
+  thread_sigsetmask(SIGMASK_BLOCK, &bit, nullptr);
+  static std::atomic<uint64_t> child_mask;
+  child_mask.store(0);
+  thread_id_t id = Spawn([&] {
+    sigset64_t mask = 0;
+    thread_sigsetmask(SIGMASK_BLOCK, nullptr, &mask);
+    child_mask.store(mask);
+  });
+  EXPECT_TRUE(Join(id));
+  EXPECT_NE(child_mask.load() & SigBit(SIG_USR2), 0u);
+  thread_sigsetmask(SIGMASK_UNBLOCK, &bit, nullptr);
+}
+
+// ---- Alternate signal stacks (bound threads only) -----------------------------
+
+std::atomic<bool> g_was_on_altstack{false};
+std::atomic<uintptr_t> g_handler_sp{0};
+
+void AltstackProbeHandler(int) {
+  g_was_on_altstack.store(signal_on_altstack());
+  int probe = 0;
+  g_handler_sp.store(reinterpret_cast<uintptr_t>(&probe));
+}
+
+TEST_F(SignalTest, UnboundThreadsMayNotUseAltstack) {
+  static char stack[32 * 1024];
+  static std::atomic<int> result;
+  result.store(99);
+  thread_id_t unbound = Spawn([&] { result.store(signal_altstack(stack, sizeof(stack))); });
+  EXPECT_TRUE(Join(unbound));
+  EXPECT_EQ(result.load(), -1);
+}
+
+TEST_F(SignalTest, BoundThreadHandlerRunsOnAltstack) {
+  static char altstack[64 * 1024];
+  g_was_on_altstack.store(false);
+  g_handler_sp.store(0);
+  signal_handler_set(SIG_USR1, &AltstackProbeHandler);
+  static std::atomic<int> install_rc;
+  install_rc.store(99);
+  thread_id_t bound = Spawn(
+      [&] {
+        install_rc.store(signal_altstack(altstack, sizeof(altstack)));
+        EXPECT_FALSE(signal_on_altstack());
+        thread_kill(thread_get_id(), SIG_USR1);  // delivered immediately
+        EXPECT_FALSE(signal_on_altstack());      // back off the alt stack
+        signal_altstack(nullptr, 0);             // disable again
+      },
+      THREAD_WAIT | THREAD_BIND_LWP);
+  EXPECT_TRUE(Join(bound));
+  EXPECT_EQ(install_rc.load(), 0);
+  EXPECT_TRUE(g_was_on_altstack.load());
+  uintptr_t sp = g_handler_sp.load();
+  auto base = reinterpret_cast<uintptr_t>(altstack);
+  EXPECT_GE(sp, base);
+  EXPECT_LT(sp, base + sizeof(altstack));
+  signal_handler_set(SIG_USR1, SIG_DEFAULT);
+}
+
+TEST_F(SignalTest, AltstackRejectsTinyStacks) {
+  static char tiny[1024];
+  static std::atomic<int> rc;
+  rc.store(99);
+  thread_id_t bound = Spawn([&] { rc.store(signal_altstack(tiny, sizeof(tiny))); },
+                            THREAD_WAIT | THREAD_BIND_LWP);
+  EXPECT_TRUE(Join(bound));
+  EXPECT_EQ(rc.load(), -1);
+}
+
+TEST(SignalDeathTest, DefaultActionExitsProcess) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT({ thread_kill(thread_get_id(), SIG_TERM); }, ::testing::ExitedWithCode(128 + SIG_TERM), "");
+}
+
+}  // namespace
+}  // namespace sunmt

@@ -1,0 +1,35 @@
+// Shared helpers for the sunmt test suite.
+
+#ifndef SUNMT_TESTS_TEST_UTIL_H_
+#define SUNMT_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/core/thread.h"
+
+namespace sunmt_test {
+
+// Adapts std::function to the C-style thread entry. The closure is heap-owned
+// and deleted after it runs (tests are not the no-malloc hot path).
+struct Closure {
+  std::function<void()> fn;
+};
+
+inline void RunClosure(void* arg) {
+  auto* closure = static_cast<Closure*>(arg);
+  closure->fn();
+  delete closure;
+}
+
+// Spawns a thread running `fn`. Defaults to THREAD_WAIT so Join() works.
+inline sunmt::thread_id_t Spawn(std::function<void()> fn, int flags = sunmt::THREAD_WAIT) {
+  return sunmt::thread_create(nullptr, 0, &RunClosure, new Closure{std::move(fn)}, flags);
+}
+
+// Waits for `id` to exit; returns true if the join succeeded.
+inline bool Join(sunmt::thread_id_t id) { return sunmt::thread_wait(id) == id; }
+
+}  // namespace sunmt_test
+
+#endif  // SUNMT_TESTS_TEST_UTIL_H_

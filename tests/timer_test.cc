@@ -1,0 +1,183 @@
+// Timer subsystem tests: per-thread timers, the per-process interval timer,
+// cancellation, and the user-level thread_sleep_ns.
+
+#include <gtest/gtest.h>
+#include <time.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/core/thread.h"
+#include "src/signal/signal.h"
+#include "src/sync/sync.h"
+#include "src/timer/timer.h"
+#include "src/util/clock.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+std::atomic<int> g_alarms{0};
+std::atomic<uint64_t> g_alarm_thread{0};
+
+void AlarmHandler(int sig) {
+  EXPECT_EQ(sig, SIG_ALRM);
+  g_alarms.fetch_add(1);
+  g_alarm_thread.store(thread_get_id());
+}
+
+TEST(Timer, RejectsBadArguments) {
+  EXPECT_EQ(timer_arm(-1, 0, SIG_ALRM, 0), kInvalidTimerId);
+  EXPECT_EQ(timer_arm(0, -1, SIG_ALRM, 0), kInvalidTimerId);
+  EXPECT_EQ(timer_arm(0, 0, 0, 0), kInvalidTimerId);
+  EXPECT_EQ(timer_arm(0, 0, 99, 0), kInvalidTimerId);
+  EXPECT_EQ(timer_cancel(987654), -1);
+}
+
+TEST(Timer, OneShotDeliversToCallingThread) {
+  g_alarms.store(0);
+  signal_handler_set(SIG_ALRM, &AlarmHandler);
+  timer_id_t id = timer_arm(5 * 1000 * 1000, 0, SIG_ALRM, 0);
+  ASSERT_NE(id, kInvalidTimerId);
+  int64_t deadline = MonotonicNowNs() + 2 * 1000 * 1000 * 1000ll;
+  while (g_alarms.load() == 0 && MonotonicNowNs() < deadline) {
+    thread_poll();  // safe point where delivery happens
+    thread_yield();
+  }
+  EXPECT_EQ(g_alarms.load(), 1);
+  EXPECT_EQ(g_alarm_thread.load(), thread_get_id());
+  EXPECT_EQ(timer_cancel(id), -1);  // already fired
+  signal_handler_set(SIG_ALRM, SIG_DEFAULT);
+}
+
+TEST(Timer, PeriodicFiresRepeatedlyUntilCancelled) {
+  g_alarms.store(0);
+  signal_handler_set(SIG_ALRM, &AlarmHandler);
+  timer_id_t id = timer_arm(2 * 1000 * 1000, 2 * 1000 * 1000, SIG_ALRM, 0);
+  ASSERT_NE(id, kInvalidTimerId);
+  int64_t deadline = MonotonicNowNs() + 2 * 1000 * 1000 * 1000ll;
+  while (g_alarms.load() < 3 && MonotonicNowNs() < deadline) {
+    thread_poll();
+    thread_yield();
+  }
+  EXPECT_GE(g_alarms.load(), 3);
+  EXPECT_EQ(timer_cancel(id), 0);
+  // After cancel, no further deliveries accumulate.
+  thread_poll();
+  int after_cancel = g_alarms.load();
+  for (int i = 0; i < 10; ++i) {
+    struct timespec ts = {0, 2 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+    thread_poll();
+  }
+  EXPECT_LE(g_alarms.load(), after_cancel + 1);  // at most one in-flight fire
+  signal_handler_set(SIG_ALRM, SIG_DEFAULT);
+}
+
+TEST(Timer, DirectedTimerTargetsSpecificThread) {
+  g_alarms.store(0);
+  g_alarm_thread.store(0);
+  signal_handler_set(SIG_ALRM, &AlarmHandler);
+  static sema_t quit;
+  sema_init(&quit, 0, 0, nullptr);
+  thread_id_t worker = Spawn([&] {
+    while (g_alarms.load() == 0) {
+      thread_poll();
+      thread_yield();
+    }
+    sema_p(&quit);
+  });
+  timer_id_t id = timer_arm(3 * 1000 * 1000, 0, SIG_ALRM, worker);
+  ASSERT_NE(id, kInvalidTimerId);
+  int64_t deadline = MonotonicNowNs() + 2 * 1000 * 1000 * 1000ll;
+  while (g_alarms.load() == 0 && MonotonicNowNs() < deadline) {
+    thread_yield();
+  }
+  EXPECT_EQ(g_alarms.load(), 1);
+  EXPECT_EQ(g_alarm_thread.load(), worker);
+  sema_v(&quit);
+  EXPECT_TRUE(Join(worker));
+  signal_handler_set(SIG_ALRM, SIG_DEFAULT);
+}
+
+TEST(Timer, ProcessIntervalTimerRaisesProcessInterrupt) {
+  g_alarms.store(0);
+  signal_handler_set(SIG_ALRM, &AlarmHandler);
+  EXPECT_EQ(timer_set_process_interval(3 * 1000 * 1000, SIG_ALRM), 0);
+  int64_t deadline = MonotonicNowNs() + 2 * 1000 * 1000 * 1000ll;
+  while (g_alarms.load() < 2 && MonotonicNowNs() < deadline) {
+    thread_poll();
+    thread_yield();
+  }
+  EXPECT_GE(g_alarms.load(), 2);
+  EXPECT_EQ(timer_set_process_interval(0, SIG_ALRM), 3 * 1000 * 1000);
+  signal_handler_set(SIG_ALRM, SIG_DEFAULT);
+}
+
+TEST(Timer, ThreadSleepBlocksOnlyTheThread) {
+  // Two sleeping threads + one compute thread on a single-LWP pool: if sleep
+  // blocked the LWP, the compute thread could not finish while they sleep.
+  thread_setconcurrency(1);
+  static std::atomic<bool> computed;
+  static std::atomic<int> sleepers_done;
+  computed.store(false);
+  sleepers_done.store(0);
+  thread_id_t s1 = Spawn([&] {
+    thread_sleep_ms(50);
+    sleepers_done.fetch_add(1);
+  });
+  thread_id_t s2 = Spawn([&] {
+    thread_sleep_ms(50);
+    sleepers_done.fetch_add(1);
+  });
+  int64_t start = MonotonicNowNs();
+  thread_id_t c = Spawn([&] { computed.store(true); });
+  // The compute thread must complete well before the sleeps expire.
+  while (!computed.load() && MonotonicNowNs() - start < 40 * 1000 * 1000) {
+    thread_yield();
+  }
+  EXPECT_TRUE(computed.load());
+  EXPECT_EQ(sleepers_done.load(), 0) << "sleepers woke too early";
+  EXPECT_TRUE(Join(s1));
+  EXPECT_TRUE(Join(s2));
+  EXPECT_TRUE(Join(c));
+  EXPECT_EQ(sleepers_done.load(), 2);
+  EXPECT_GE(MonotonicNowNs() - start, 45 * 1000 * 1000);
+  thread_setconcurrency(0);
+}
+
+TEST(Timer, SleepAccuracy) {
+  int64_t start = MonotonicNowNs();
+  thread_sleep_ms(20);
+  int64_t elapsed = MonotonicNowNs() - start;
+  EXPECT_GE(elapsed, 19 * 1000 * 1000);
+  EXPECT_LT(elapsed, 500 * 1000 * 1000);  // generous upper bound
+}
+
+TEST(Timer, ManySleepersWakeInOrder) {
+  static std::atomic<int> wake_order[3];
+  static std::atomic<int> next_slot;
+  next_slot.store(0);
+  std::vector<thread_id_t> ids;
+  int delays_ms[3] = {30, 10, 20};
+  for (int i = 0; i < 3; ++i) {
+    int delay = delays_ms[i];
+    ids.push_back(Spawn([i, delay] {
+      thread_sleep_ms(delay);
+      wake_order[next_slot.fetch_add(1)].store(i);
+    }));
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(wake_order[0].load(), 1);  // 10ms
+  EXPECT_EQ(wake_order[1].load(), 2);  // 20ms
+  EXPECT_EQ(wake_order[2].load(), 0);  // 30ms
+}
+
+}  // namespace
+}  // namespace sunmt

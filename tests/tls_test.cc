@@ -1,0 +1,180 @@
+// Thread-local storage tests: static TLS isolation + zeroing, freeze semantics,
+// and the dynamic TSD layer (keys, values, destructors).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/thread.h"
+#include "src/core/tls_arena.h"
+#include "src/tls/thread_local.h"
+#include "src/tls/tsd.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+// Registered at static-init time, before any thread exists (the linker-sum
+// analogue). The canonical errno example from the paper.
+ThreadLocal<int> tls_errno;
+ThreadLocal<uint64_t> tls_counter;
+struct TlsBlob {
+  int a;
+  double b;
+  char pad[24];
+};
+ThreadLocal<TlsBlob> tls_blob;
+
+TEST(ThreadLocalStorage, ZeroInitialized) {
+  // "The contents of thread-local storage are zeroed, initially."
+  static std::atomic<bool> all_zero;
+  all_zero.store(false);
+  thread_id_t id = Spawn([&] {
+    all_zero.store(tls_errno.Get() == 0 && tls_counter.Get() == 0 &&
+                   tls_blob.Get().a == 0 && tls_blob.Get().b == 0.0);
+  });
+  EXPECT_TRUE(Join(id));
+  EXPECT_TRUE(all_zero.load());
+}
+
+TEST(ThreadLocalStorage, EachThreadHasItsOwnCopy) {
+  constexpr int kThreads = 8;
+  static std::atomic<int> mismatches;
+  mismatches.store(0);
+  std::vector<thread_id_t> ids;
+  for (int t = 0; t < kThreads; ++t) {
+    ids.push_back(Spawn([t] {
+      tls_errno.Get() = 1000 + t;
+      tls_counter.Get() = static_cast<uint64_t>(t) * 7;
+      for (int i = 0; i < 50; ++i) {
+        thread_yield();  // interleave with the other threads
+        if (tls_errno.Get() != 1000 + t ||
+            tls_counter.Get() != static_cast<uint64_t>(t) * 7) {
+          mismatches.fetch_add(1);
+          break;
+        }
+      }
+    }));
+  }
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadLocalStorage, MainThreadHasACopyToo) {
+  tls_errno.Get() = 42;
+  thread_id_t id = Spawn([] { tls_errno.Get() = 7; });
+  EXPECT_TRUE(Join(id));
+  EXPECT_EQ(tls_errno.Get(), 42);  // untouched by the other thread
+}
+
+TEST(ThreadLocalStorage, FreshThreadsStartZeroedEvenAfterReuse) {
+  // Stacks (and the TLS carved from them) are cached and reused; the zeroing
+  // must happen per-creation, not per-mapping.
+  for (int round = 0; round < 3; ++round) {
+    static std::atomic<int> initial;
+    initial.store(-1);
+    thread_id_t id = Spawn([&] {
+      initial.store(tls_errno.Get());
+      tls_errno.Get() = 777;  // dirty it for the next reuse
+    });
+    EXPECT_TRUE(Join(id));
+    EXPECT_EQ(initial.load(), 0) << "round " << round;
+  }
+}
+
+TEST(ThreadLocalStorage, LayoutIsFrozenOnceThreadsExist) {
+  EXPECT_TRUE(TlsArena::IsFrozen());  // threads were created above
+}
+
+TEST(TlsArenaDeathTest, RegistrationAfterFreezePanics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        (void)TlsArena::FrozenSize();      // freeze
+        TlsArena::Register(8, 8);          // too late
+      },
+      "");
+}
+
+TEST(Tsd, KeysRoundTripValues) {
+  tsd_key_t key = tsd_key_create(nullptr);
+  ASSERT_NE(key, kInvalidTsdKey);
+  EXPECT_EQ(tsd_get(key), nullptr);
+  int value = 5;
+  EXPECT_EQ(tsd_set(key, &value), 0);
+  EXPECT_EQ(tsd_get(key), &value);
+  EXPECT_EQ(tsd_set(key, nullptr), 0);
+  EXPECT_EQ(tsd_get(key), nullptr);
+}
+
+TEST(Tsd, InvalidKeysRejected) {
+  EXPECT_EQ(tsd_set(kInvalidTsdKey, nullptr), -1);
+  EXPECT_EQ(tsd_get(kInvalidTsdKey), nullptr);
+  EXPECT_EQ(tsd_set(9999, nullptr), -1);
+}
+
+TEST(Tsd, ValuesArePerThread) {
+  static tsd_key_t key;
+  key = tsd_key_create(nullptr);
+  ASSERT_NE(key, kInvalidTsdKey);
+  static int main_value, thread_value;
+  tsd_set(key, &main_value);
+  static std::atomic<void*> seen_initial;
+  static std::atomic<void*> seen_after;
+  thread_id_t id = Spawn([&] {
+    seen_initial.store(tsd_get(key));  // unset in this thread
+    tsd_set(key, &thread_value);
+    seen_after.store(tsd_get(key));
+  });
+  EXPECT_TRUE(Join(id));
+  EXPECT_EQ(seen_initial.load(), nullptr);
+  EXPECT_EQ(seen_after.load(), &thread_value);
+  EXPECT_EQ(tsd_get(key), &main_value);
+}
+
+TEST(Tsd, DestructorRunsAtThreadExit) {
+  static std::atomic<int> destroyed;
+  destroyed.store(0);
+  static int payload = 11;
+  tsd_key_t key = tsd_key_create([](void* v) {
+    EXPECT_EQ(v, &payload);
+    destroyed.fetch_add(1);
+  });
+  ASSERT_NE(key, kInvalidTsdKey);
+  thread_id_t id = Spawn([key] { tsd_set(key, &payload); });
+  EXPECT_TRUE(Join(id));
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+TEST(Tsd, DestructorSkippedForNullValues) {
+  static std::atomic<int> destroyed;
+  destroyed.store(0);
+  tsd_key_t key = tsd_key_create([](void*) { destroyed.fetch_add(1); });
+  thread_id_t id = Spawn([key] {
+    tsd_set(key, reinterpret_cast<void*>(1));
+    tsd_set(key, nullptr);  // cleared before exit
+  });
+  EXPECT_TRUE(Join(id));
+  EXPECT_EQ(destroyed.load(), 0);
+}
+
+TEST(Tsd, ChainedDestructorsRerun) {
+  // A destructor that sets another key's value gets a follow-up round.
+  static tsd_key_t key_a, key_b;
+  static std::atomic<int> b_destroyed;
+  b_destroyed.store(0);
+  key_b = tsd_key_create([](void*) { b_destroyed.fetch_add(1); });
+  key_a = tsd_key_create([](void*) { tsd_set(key_b, reinterpret_cast<void*>(2)); });
+  thread_id_t id = Spawn([] { tsd_set(key_a, reinterpret_cast<void*>(1)); });
+  EXPECT_TRUE(Join(id));
+  EXPECT_EQ(b_destroyed.load(), 1);
+}
+
+}  // namespace
+}  // namespace sunmt

@@ -1,0 +1,205 @@
+// Scheduler trace tests: event capture, ring overwrite, formatting, and the
+// waitid / sema_p_timed additions that ride the same binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/core/thread.h"
+#include "src/core/trace.h"
+#include "src/sync/sync.h"
+#include "src/timer/timer.h"
+#include "src/util/clock.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+bool HasEvent(const std::vector<TraceRecord>& records, TraceEvent event,
+              uint64_t thread_id) {
+  for (const TraceRecord& r : records) {
+    if (r.event == event && r.thread_id == thread_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Trace, DisabledByDefaultAndCheap) {
+  EXPECT_FALSE(Trace::IsEnabled());
+  Trace::Record(TraceEvent::kYield, 1, 0);  // must be a no-op, not a crash
+  std::vector<TraceRecord> records;
+  EXPECT_EQ(Trace::Collect(&records), 0u);
+}
+
+TEST(Trace, CapturesThreadLifecycle) {
+  Trace::Enable(4096);
+  static sema_t gate;
+  sema_init(&gate, 0, 0, nullptr);
+  thread_id_t worker = Spawn([&] {
+    sema_p(&gate);     // BLOCK
+    thread_yield();    // possibly YIELD (only if other work is queued)
+  });
+  for (int i = 0; i < 30; ++i) {
+    thread_yield();
+  }
+  sema_v(&gate);  // WAKE
+  EXPECT_TRUE(Join(worker));
+  std::vector<TraceRecord> records;
+  Trace::Collect(&records);
+  Trace::Disable();
+
+  EXPECT_TRUE(HasEvent(records, TraceEvent::kCreate, worker));
+  EXPECT_TRUE(HasEvent(records, TraceEvent::kDispatch, worker));
+  EXPECT_TRUE(HasEvent(records, TraceEvent::kBlock, worker));
+  EXPECT_TRUE(HasEvent(records, TraceEvent::kWake, worker));
+  EXPECT_TRUE(HasEvent(records, TraceEvent::kExit, worker));
+  // Timestamps are monotone non-decreasing in collection order.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time_ns, records[i].time_ns);
+  }
+  // Lifecycle ordering for the worker: create < first dispatch < exit.
+  int64_t t_create = -1, t_dispatch = -1, t_exit = -1;
+  for (const TraceRecord& r : records) {
+    if (r.thread_id != worker) {
+      continue;
+    }
+    if (r.event == TraceEvent::kCreate && t_create < 0) {
+      t_create = r.time_ns;
+    }
+    if (r.event == TraceEvent::kDispatch && t_dispatch < 0) {
+      t_dispatch = r.time_ns;
+    }
+    if (r.event == TraceEvent::kExit) {
+      t_exit = r.time_ns;
+    }
+  }
+  EXPECT_LE(t_create, t_dispatch);
+  EXPECT_LE(t_dispatch, t_exit);
+}
+
+TEST(Trace, RingOverwritesOldestButKeepsCounting) {
+  Trace::Enable(16);  // tiny ring
+  uint64_t before = Trace::RecordedCount();
+  for (int i = 0; i < 100; ++i) {
+    Trace::Record(TraceEvent::kYield, 42, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(Trace::RecordedCount() - before, 100u);
+  std::vector<TraceRecord> records;
+  Trace::Collect(&records);
+  Trace::Disable();
+  EXPECT_LE(records.size(), 16u);
+  EXPECT_GE(records.size(), 1u);
+  // Only the newest survive.
+  for (const TraceRecord& r : records) {
+    if (r.thread_id == 42) {
+      EXPECT_GE(r.arg, 84u);
+    }
+  }
+}
+
+TEST(Trace, FormatMentionsEventNames) {
+  Trace::Enable(1024);
+  thread_id_t worker = Spawn([] {});
+  EXPECT_TRUE(Join(worker));
+  std::string text = Trace::Format();
+  Trace::Disable();
+  EXPECT_NE(text.find("CREATE"), std::string::npos);
+  EXPECT_NE(text.find("DISPATCH"), std::string::npos);
+  EXPECT_NE(text.find("EXIT"), std::string::npos);
+}
+
+TEST(Trace, EventNamesAreDistinct) {
+  EXPECT_STREQ(TraceEventName(TraceEvent::kDispatch), "DISPATCH");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kSigwaiting), "SIGWAITING");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kPreempt), "PREEMPT");
+}
+
+// ---- waitid alternate interface -----------------------------------------------
+
+TEST(Waitid, PThreadWaitsForSpecificThread) {
+  thread_id_t worker = Spawn([] {});
+  EXPECT_EQ(thread_waitid(P_THREAD, worker), worker);
+}
+
+TEST(Waitid, PThreadAllWaitsForAny) {
+  thread_id_t worker = Spawn([] {});
+  EXPECT_EQ(thread_waitid(P_THREAD_ALL, 0), worker);
+}
+
+TEST(Waitid, RejectsBadArguments) {
+  EXPECT_EQ(thread_waitid(P_THREAD, 0), kInvalidThreadId);
+  EXPECT_EQ(thread_waitid(99, 1), kInvalidThreadId);
+}
+
+// ---- sema_p_timed ----------------------------------------------------------------
+
+TEST(SemaTimed, TakesAvailableTokenImmediately) {
+  sema_t sema = {};
+  sema_init(&sema, 1, 0, nullptr);
+  EXPECT_EQ(sema_p_timed(&sema, 50 * 1000 * 1000), 1);
+  EXPECT_EQ(sema_tryp(&sema), 0);  // consumed
+}
+
+TEST(SemaTimed, TimesOutWithoutConsuming) {
+  sema_t sema = {};
+  int64_t start = MonotonicNowNs();
+  EXPECT_EQ(sema_p_timed(&sema, 15 * 1000 * 1000), 0);
+  EXPECT_GE(MonotonicNowNs() - start, 14 * 1000 * 1000);
+  sema_v(&sema);
+  EXPECT_EQ(sema_tryp(&sema), 1);  // the timeout did not eat the later token
+}
+
+TEST(SemaTimed, VBeatsTimeout) {
+  static sema_t sema;
+  sema_init(&sema, 0, 0, nullptr);
+  thread_id_t poster = Spawn([&] {
+    thread_sleep_ms(5);
+    sema_v(&sema);
+  });
+  EXPECT_EQ(sema_p_timed(&sema, 2 * 1000 * 1000 * 1000ll), 1);
+  EXPECT_TRUE(Join(poster));
+}
+
+TEST(SemaTimed, SharedVariantTimesOut) {
+  sema_t sema = {};
+  sema_init(&sema, 0, THREAD_SYNC_SHARED, nullptr);
+  int64_t start = MonotonicNowNs();
+  EXPECT_EQ(sema_p_timed(&sema, 15 * 1000 * 1000), 0);
+  EXPECT_GE(MonotonicNowNs() - start, 14 * 1000 * 1000);
+  sema_v(&sema);
+  EXPECT_EQ(sema_p_timed(&sema, 15 * 1000 * 1000), 1);
+}
+
+TEST(SemaTimed, MixedTimedAndPlainWaiters) {
+  static sema_t sema;
+  sema_init(&sema, 0, 0, nullptr);
+  static std::atomic<int> got, timed_out;
+  got.store(0);
+  timed_out.store(0);
+  std::vector<thread_id_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(Spawn([&] {
+      if (sema_p_timed(&sema, 20 * 1000 * 1000)) {
+        got.fetch_add(1);
+      } else {
+        timed_out.fetch_add(1);
+      }
+    }));
+  }
+  thread_sleep_ms(2);
+  sema_v(&sema);  // exactly one waiter gets a token
+  for (thread_id_t id : ids) {
+    EXPECT_TRUE(Join(id));
+  }
+  EXPECT_EQ(got.load(), 1);
+  EXPECT_EQ(timed_out.load(), 2);
+}
+
+}  // namespace
+}  // namespace sunmt
