@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_concurrency.dir/abl_concurrency.cc.o"
+  "CMakeFiles/abl_concurrency.dir/abl_concurrency.cc.o.d"
+  "abl_concurrency"
+  "abl_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

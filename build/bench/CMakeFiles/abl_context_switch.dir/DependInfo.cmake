@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_context_switch.cc" "bench/CMakeFiles/abl_context_switch.dir/abl_context_switch.cc.o" "gcc" "bench/CMakeFiles/abl_context_switch.dir/abl_context_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msgq/CMakeFiles/sunmt_msgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/recordstore/CMakeFiles/sunmt_recordstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/microtask/CMakeFiles/sunmt_microtask.dir/DependInfo.cmake"
+  "/root/repo/build/src/pthread/CMakeFiles/sunmt_pthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/rlimit/CMakeFiles/sunmt_rlimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/sunmt_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspect/CMakeFiles/sunmt_introspect.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sunmt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/sunmt_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sunmt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/sunmt_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/sunmt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sunmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwp/CMakeFiles/sunmt_lwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunmt_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sunmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_context_switch.dir/abl_context_switch.cc.o"
+  "CMakeFiles/abl_context_switch.dir/abl_context_switch.cc.o.d"
+  "abl_context_switch"
+  "abl_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_microtask.dir/abl_microtask.cc.o"
+  "CMakeFiles/abl_microtask.dir/abl_microtask.cc.o.d"
+  "abl_microtask"
+  "abl_microtask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_microtask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

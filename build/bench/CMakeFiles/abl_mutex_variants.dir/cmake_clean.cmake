@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mutex_variants.dir/abl_mutex_variants.cc.o"
+  "CMakeFiles/abl_mutex_variants.dir/abl_mutex_variants.cc.o.d"
+  "abl_mutex_variants"
+  "abl_mutex_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mutex_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pthread_overhead.dir/abl_pthread_overhead.cc.o"
+  "CMakeFiles/abl_pthread_overhead.dir/abl_pthread_overhead.cc.o.d"
+  "abl_pthread_overhead"
+  "abl_pthread_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pthread_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_record_locks.dir/abl_record_locks.cc.o"
+  "CMakeFiles/abl_record_locks.dir/abl_record_locks.cc.o.d"
+  "abl_record_locks"
+  "abl_record_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_record_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rwlock.dir/abl_rwlock.cc.o"
+  "CMakeFiles/abl_rwlock.dir/abl_rwlock.cc.o.d"
+  "abl_rwlock"
+  "abl_rwlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rwlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sigwaiting.dir/abl_sigwaiting.cc.o"
+  "CMakeFiles/abl_sigwaiting.dir/abl_sigwaiting.cc.o.d"
+  "abl_sigwaiting"
+  "abl_sigwaiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sigwaiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thread_scale.dir/abl_thread_scale.cc.o"
+  "CMakeFiles/abl_thread_scale.dir/abl_thread_scale.cc.o.d"
+  "abl_thread_scale"
+  "abl_thread_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thread_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_thread_create.dir/fig5_thread_create.cc.o"
+  "CMakeFiles/fig5_thread_create.dir/fig5_thread_create.cc.o.d"
+  "fig5_thread_create"
+  "fig5_thread_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_thread_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortran_microtask.dir/fortran_microtask.cpp.o"
+  "CMakeFiles/fortran_microtask.dir/fortran_microtask.cpp.o.d"
+  "fortran_microtask"
+  "fortran_microtask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortran_microtask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

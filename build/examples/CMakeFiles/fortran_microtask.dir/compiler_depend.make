@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fortran_microtask.
+# This may be replaced when dependencies are built.

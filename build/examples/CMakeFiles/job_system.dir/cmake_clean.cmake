@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_system.dir/job_system.cpp.o"
+  "CMakeFiles/job_system.dir/job_system.cpp.o.d"
+  "job_system"
+  "job_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_server.dir/network_server.cpp.o"
+  "CMakeFiles/network_server.dir/network_server.cpp.o.d"
+  "network_server"
+  "network_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

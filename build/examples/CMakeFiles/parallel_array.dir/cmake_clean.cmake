@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_array.dir/parallel_array.cpp.o"
+  "CMakeFiles/parallel_array.dir/parallel_array.cpp.o.d"
+  "parallel_array"
+  "parallel_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

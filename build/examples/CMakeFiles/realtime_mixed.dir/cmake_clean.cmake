@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_mixed.dir/realtime_mixed.cpp.o"
+  "CMakeFiles/realtime_mixed.dir/realtime_mixed.cpp.o.d"
+  "realtime_mixed"
+  "realtime_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

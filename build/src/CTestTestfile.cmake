@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("arch")
+subdirs("lwp")
+subdirs("core")
+subdirs("sync")
+subdirs("tls")
+subdirs("signal")
+subdirs("ipc")
+subdirs("io")
+subdirs("introspect")
+subdirs("timer")
+subdirs("rlimit")
+subdirs("pthread")
+subdirs("microtask")
+subdirs("cxx")
+subdirs("recordstore")
+subdirs("msgq")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/arch/context_x86_64.S" "/root/repo/build/src/arch/CMakeFiles/sunmt_arch.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/context_asm.cc" "src/arch/CMakeFiles/sunmt_arch.dir/context_asm.cc.o" "gcc" "src/arch/CMakeFiles/sunmt_arch.dir/context_asm.cc.o.d"
+  "/root/repo/src/arch/context_ucontext.cc" "src/arch/CMakeFiles/sunmt_arch.dir/context_ucontext.cc.o" "gcc" "src/arch/CMakeFiles/sunmt_arch.dir/context_ucontext.cc.o.d"
+  "/root/repo/src/arch/stack.cc" "src/arch/CMakeFiles/sunmt_arch.dir/stack.cc.o" "gcc" "src/arch/CMakeFiles/sunmt_arch.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sunmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

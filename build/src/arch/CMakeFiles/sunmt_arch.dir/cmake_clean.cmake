@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_arch.dir/context_asm.cc.o"
+  "CMakeFiles/sunmt_arch.dir/context_asm.cc.o.d"
+  "CMakeFiles/sunmt_arch.dir/context_ucontext.cc.o"
+  "CMakeFiles/sunmt_arch.dir/context_ucontext.cc.o.d"
+  "CMakeFiles/sunmt_arch.dir/context_x86_64.S.o"
+  "CMakeFiles/sunmt_arch.dir/stack.cc.o"
+  "CMakeFiles/sunmt_arch.dir/stack.cc.o.d"
+  "libsunmt_arch.a"
+  "libsunmt_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/sunmt_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/run_queue.cc" "src/core/CMakeFiles/sunmt_core.dir/run_queue.cc.o" "gcc" "src/core/CMakeFiles/sunmt_core.dir/run_queue.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/sunmt_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/sunmt_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/sunmt_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/sunmt_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/thread.cc" "src/core/CMakeFiles/sunmt_core.dir/thread.cc.o" "gcc" "src/core/CMakeFiles/sunmt_core.dir/thread.cc.o.d"
+  "/root/repo/src/core/tls_arena.cc" "src/core/CMakeFiles/sunmt_core.dir/tls_arena.cc.o" "gcc" "src/core/CMakeFiles/sunmt_core.dir/tls_arena.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/sunmt_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/sunmt_core.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lwp/CMakeFiles/sunmt_lwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunmt_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sunmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_core.dir/run_queue.cc.o"
+  "CMakeFiles/sunmt_core.dir/run_queue.cc.o.d"
+  "CMakeFiles/sunmt_core.dir/runtime.cc.o"
+  "CMakeFiles/sunmt_core.dir/runtime.cc.o.d"
+  "CMakeFiles/sunmt_core.dir/scheduler.cc.o"
+  "CMakeFiles/sunmt_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/sunmt_core.dir/thread.cc.o"
+  "CMakeFiles/sunmt_core.dir/thread.cc.o.d"
+  "CMakeFiles/sunmt_core.dir/tls_arena.cc.o"
+  "CMakeFiles/sunmt_core.dir/tls_arena.cc.o.d"
+  "CMakeFiles/sunmt_core.dir/trace.cc.o"
+  "CMakeFiles/sunmt_core.dir/trace.cc.o.d"
+  "libsunmt_core.a"
+  "libsunmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/introspect/introspect.cc" "src/introspect/CMakeFiles/sunmt_introspect.dir/introspect.cc.o" "gcc" "src/introspect/CMakeFiles/sunmt_introspect.dir/introspect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sunmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwp/CMakeFiles/sunmt_lwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sunmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunmt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

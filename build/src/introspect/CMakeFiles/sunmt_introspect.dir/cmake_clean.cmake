@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_introspect.dir/introspect.cc.o"
+  "CMakeFiles/sunmt_introspect.dir/introspect.cc.o.d"
+  "libsunmt_introspect.a"
+  "libsunmt_introspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_io.dir/io.cc.o"
+  "CMakeFiles/sunmt_io.dir/io.cc.o.d"
+  "libsunmt_io.a"
+  "libsunmt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

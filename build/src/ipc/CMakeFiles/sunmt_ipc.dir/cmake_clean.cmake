@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_ipc.dir/fork1.cc.o"
+  "CMakeFiles/sunmt_ipc.dir/fork1.cc.o.d"
+  "CMakeFiles/sunmt_ipc.dir/shared_arena.cc.o"
+  "CMakeFiles/sunmt_ipc.dir/shared_arena.cc.o.d"
+  "libsunmt_ipc.a"
+  "libsunmt_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

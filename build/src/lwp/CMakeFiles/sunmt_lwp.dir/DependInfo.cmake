@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lwp/lwp.cc" "src/lwp/CMakeFiles/sunmt_lwp.dir/lwp.cc.o" "gcc" "src/lwp/CMakeFiles/sunmt_lwp.dir/lwp.cc.o.d"
+  "/root/repo/src/lwp/lwp_clock.cc" "src/lwp/CMakeFiles/sunmt_lwp.dir/lwp_clock.cc.o" "gcc" "src/lwp/CMakeFiles/sunmt_lwp.dir/lwp_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/sunmt_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sunmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

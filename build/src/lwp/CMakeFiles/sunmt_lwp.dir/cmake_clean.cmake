@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_lwp.dir/lwp.cc.o"
+  "CMakeFiles/sunmt_lwp.dir/lwp.cc.o.d"
+  "CMakeFiles/sunmt_lwp.dir/lwp_clock.cc.o"
+  "CMakeFiles/sunmt_lwp.dir/lwp_clock.cc.o.d"
+  "libsunmt_lwp.a"
+  "libsunmt_lwp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_lwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sunmt_lwp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_microtask.dir/microtask.cc.o"
+  "CMakeFiles/sunmt_microtask.dir/microtask.cc.o.d"
+  "libsunmt_microtask.a"
+  "libsunmt_microtask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_microtask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

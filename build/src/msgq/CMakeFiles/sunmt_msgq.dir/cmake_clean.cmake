@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_msgq.dir/message_queue.cc.o"
+  "CMakeFiles/sunmt_msgq.dir/message_queue.cc.o.d"
+  "libsunmt_msgq.a"
+  "libsunmt_msgq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_msgq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

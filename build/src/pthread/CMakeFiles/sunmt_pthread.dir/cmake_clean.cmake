@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_pthread.dir/pthread_compat.cc.o"
+  "CMakeFiles/sunmt_pthread.dir/pthread_compat.cc.o.d"
+  "libsunmt_pthread.a"
+  "libsunmt_pthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_pthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_recordstore.dir/record_store.cc.o"
+  "CMakeFiles/sunmt_recordstore.dir/record_store.cc.o.d"
+  "libsunmt_recordstore.a"
+  "libsunmt_recordstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_recordstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_rlimit.dir/rlimit.cc.o"
+  "CMakeFiles/sunmt_rlimit.dir/rlimit.cc.o.d"
+  "libsunmt_rlimit.a"
+  "libsunmt_rlimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_rlimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

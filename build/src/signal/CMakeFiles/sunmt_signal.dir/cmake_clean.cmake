@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_signal.dir/signal.cc.o"
+  "CMakeFiles/sunmt_signal.dir/signal.cc.o.d"
+  "libsunmt_signal.a"
+  "libsunmt_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/condvar.cc" "src/sync/CMakeFiles/sunmt_sync.dir/condvar.cc.o" "gcc" "src/sync/CMakeFiles/sunmt_sync.dir/condvar.cc.o.d"
+  "/root/repo/src/sync/mutex.cc" "src/sync/CMakeFiles/sunmt_sync.dir/mutex.cc.o" "gcc" "src/sync/CMakeFiles/sunmt_sync.dir/mutex.cc.o.d"
+  "/root/repo/src/sync/rwlock.cc" "src/sync/CMakeFiles/sunmt_sync.dir/rwlock.cc.o" "gcc" "src/sync/CMakeFiles/sunmt_sync.dir/rwlock.cc.o.d"
+  "/root/repo/src/sync/sema.cc" "src/sync/CMakeFiles/sunmt_sync.dir/sema.cc.o" "gcc" "src/sync/CMakeFiles/sunmt_sync.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sunmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwp/CMakeFiles/sunmt_lwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sunmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sunmt_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_sync.dir/condvar.cc.o"
+  "CMakeFiles/sunmt_sync.dir/condvar.cc.o.d"
+  "CMakeFiles/sunmt_sync.dir/mutex.cc.o"
+  "CMakeFiles/sunmt_sync.dir/mutex.cc.o.d"
+  "CMakeFiles/sunmt_sync.dir/rwlock.cc.o"
+  "CMakeFiles/sunmt_sync.dir/rwlock.cc.o.d"
+  "CMakeFiles/sunmt_sync.dir/sema.cc.o"
+  "CMakeFiles/sunmt_sync.dir/sema.cc.o.d"
+  "libsunmt_sync.a"
+  "libsunmt_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_timer.dir/condvar_timed.cc.o"
+  "CMakeFiles/sunmt_timer.dir/condvar_timed.cc.o.d"
+  "CMakeFiles/sunmt_timer.dir/sema_timed.cc.o"
+  "CMakeFiles/sunmt_timer.dir/sema_timed.cc.o.d"
+  "CMakeFiles/sunmt_timer.dir/timer.cc.o"
+  "CMakeFiles/sunmt_timer.dir/timer.cc.o.d"
+  "libsunmt_timer.a"
+  "libsunmt_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_tls.dir/tsd.cc.o"
+  "CMakeFiles/sunmt_tls.dir/tsd.cc.o.d"
+  "libsunmt_tls.a"
+  "libsunmt_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsunmt_tls.a"
+)

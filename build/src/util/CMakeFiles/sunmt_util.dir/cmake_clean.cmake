@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunmt_util.dir/check.cc.o"
+  "CMakeFiles/sunmt_util.dir/check.cc.o.d"
+  "CMakeFiles/sunmt_util.dir/futex.cc.o"
+  "CMakeFiles/sunmt_util.dir/futex.cc.o.d"
+  "libsunmt_util.a"
+  "libsunmt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunmt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

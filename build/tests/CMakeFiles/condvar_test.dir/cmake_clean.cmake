@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condvar_test.dir/condvar_test.cc.o"
+  "CMakeFiles/condvar_test.dir/condvar_test.cc.o.d"
+  "condvar_test"
+  "condvar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condvar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

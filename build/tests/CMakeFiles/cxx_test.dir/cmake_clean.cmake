@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxx_test.dir/cxx_test.cc.o"
+  "CMakeFiles/cxx_test.dir/cxx_test.cc.o.d"
+  "cxx_test"
+  "cxx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwp_test.dir/lwp_test.cc.o"
+  "CMakeFiles/lwp_test.dir/lwp_test.cc.o.d"
+  "lwp_test"
+  "lwp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microtask_test.dir/microtask_test.cc.o"
+  "CMakeFiles/microtask_test.dir/microtask_test.cc.o.d"
+  "microtask_test"
+  "microtask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microtask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgq_test.dir/msgq_test.cc.o"
+  "CMakeFiles/msgq_test.dir/msgq_test.cc.o.d"
+  "msgq_test"
+  "msgq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preempt_test.dir/preempt_test.cc.o"
+  "CMakeFiles/preempt_test.dir/preempt_test.cc.o.d"
+  "preempt_test"
+  "preempt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preempt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pthread_test.dir/pthread_test.cc.o"
+  "CMakeFiles/pthread_test.dir/pthread_test.cc.o.d"
+  "pthread_test"
+  "pthread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

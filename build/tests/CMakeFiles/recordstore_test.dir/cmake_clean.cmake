@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recordstore_test.dir/recordstore_test.cc.o"
+  "CMakeFiles/recordstore_test.dir/recordstore_test.cc.o.d"
+  "recordstore_test"
+  "recordstore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recordstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sema_test.dir/sema_test.cc.o"
+  "CMakeFiles/sema_test.dir/sema_test.cc.o.d"
+  "sema_test"
+  "sema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
