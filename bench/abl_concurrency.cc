@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/core/runtime.h"
 #include "src/core/thread.h"
 #include "src/io/io.h"
@@ -58,6 +59,7 @@ int main() {
   printf("  %d logical tasks, each %dms indefinite wait + compute\n", kTasks, kSleepMs);
   printf("  %-8s %12s %14s\n", "LWPs", "batch (ms)", "speedup vs 1");
   RunBatchMs(2);  // warm-up
+  sunmt_bench::BenchJson json{"abl_concurrency"};
   double base = 0;
   for (int lwps : {1, 2, 4, 8, 16}) {
     double ms = RunBatchMs(lwps);
@@ -65,9 +67,13 @@ int main() {
       base = ms;
     }
     printf("  %-8d %12.2f %14.2f\n", lwps, ms, base / ms);
+    char metric[32];
+    snprintf(metric, sizeof(metric), "batch_ms_lwps_%d", lwps);
+    json.Add(metric, ms);
   }
   printf("\n  (ideal: %d LWPs overlap all waits -> ~%dms + compute; 1 LWP\n"
          "   serializes them -> ~%dms)\n",
          kTasks, kSleepMs, kTasks * kSleepMs);
+  json.Emit();
   return 0;
 }

@@ -5,6 +5,8 @@
 // vs setjmp/longjmp vs a full kernel-thread round trip.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
 #include <setjmp.h>
 #include <ucontext.h>
 
@@ -109,4 +111,4 @@ BENCHMARK(BM_KernelThreadRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_context_switch");

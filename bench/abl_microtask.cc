@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -68,4 +70,4 @@ BENCHMARK(BM_GangBarrierPhase)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_microtask");

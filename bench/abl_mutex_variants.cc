@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "src/sync/sync.h"
 
 namespace {
@@ -77,4 +79,4 @@ BENCHMARK(BM_MutexTryenterUncontended);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_mutex_variants");

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <atomic>
 
 #include "src/core/thread.h"
@@ -121,4 +123,4 @@ BENCHMARK(BM_PipelineSemaShared)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_pipeline");

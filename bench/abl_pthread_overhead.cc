@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <thread>
 
 #include "src/core/thread.h"
@@ -64,4 +66,4 @@ BENCHMARK(BM_SunmtMutexEnterExit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_pthread_overhead");

@@ -6,6 +6,8 @@
 // store-wide mutex.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
 #include <unistd.h>
 
 #include "src/recordstore/record_store.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_CoarseStoreLock)->Threads(1)->Threads(2)->Threads(4)->Threads(8)->U
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_record_locks");

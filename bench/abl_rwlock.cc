@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "src/sync/sync.h"
 #include "src/util/rng.h"
 
@@ -98,4 +100,4 @@ BENCHMARK(BM_MutexReadBaseline)->Threads(1)->Threads(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_rwlock");

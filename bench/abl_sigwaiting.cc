@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/core/runtime.h"
 #include "src/core/thread.h"
 #include "src/io/io.h"
@@ -81,5 +82,12 @@ int main() {
          static_cast<unsigned long long>(sunmt::Runtime::Get().sigwaiting_count()));
   printf("\n  (the adaptive run pays roughly one watchdog period; without\n"
          "   SIGWAITING it would wait the full %dms block time)\n", kBlockMs);
+  sunmt_bench::BenchJson json{"abl_sigwaiting"};
+  json.Add("presized_us", presized);
+  json.Add("adaptive_us", adaptive);
+  json.Add("adaptation_us", adaptive - presized);
+  json.Add("sigwaiting_events",
+           static_cast<double>(sunmt::Runtime::Get().sigwaiting_count()));
+  json.Emit();
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -54,4 +56,4 @@ BENCHMARK(BM_StdThreadBatch)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SUNMT_BENCH_JSON_MAIN("abl_thread_scale");

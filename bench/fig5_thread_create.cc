@@ -74,5 +74,9 @@ int main() {
       });
   printf("\n  (paper: SPARCstation 1+, 25MHz; bound creation enters the kernel to\n"
          "   create an LWP, unbound creation never leaves user space)\n");
+  sunmt_bench::BenchJson json{"fig5_thread_create"};
+  json.Add("unbound_create_us", unbound_us);
+  json.Add("bound_create_us", bound_us);
+  json.Emit();
   return 0;
 }

@@ -144,6 +144,12 @@ int main() {
       });
   printf("\n  (unbound sync never enters the kernel; bound and cross-process sync\n"
          "   block the LWP in the kernel, so they cost roughly the same)\n");
+  sunmt_bench::BenchJson json{"fig6_sync"};
+  json.Add("setjmp_us", setjmp_us);
+  json.Add("unbound_sync_us", unbound_us);
+  json.Add("bound_sync_us", bound_us);
+  json.Add("cross_process_sync_us", cross_us);
+  json.Emit();
   sunmt::thread_setconcurrency(0);
   return 0;
 }

@@ -10,7 +10,9 @@
 #include <cstdio>
 
 #include "src/core/thread.h"
+#include "src/core/trace.h"
 #include "src/introspect/introspect.h"
+#include "src/stats/stats.h"
 #include "src/sync/sync.h"
 
 namespace {
@@ -25,6 +27,11 @@ void Worker(void* arg) {
   for (int i = 0; i < 1000; ++i) {
     sunmt::mutex_enter(&g_lock);
     g_total += amount;
+    if (i % 128 == 0) {
+      // Yield inside the critical section so the other workers pile up on the
+      // mutex — gives the contention histograms something to record.
+      sunmt::thread_yield();
+    }
     sunmt::mutex_exit(&g_lock);
   }
   sunmt::sema_v(&g_done);
@@ -61,8 +68,21 @@ int main() {
   printf("thread_wait(%llu) -> %llu\n", static_cast<unsigned long long>(reporter),
          static_cast<unsigned long long>(reaped));
 
-  // The /proc-style view of the process.
+  // The /proc-style view of the process. With SUNMT_STATS=1 this includes the
+  // latency-quantile tables; with SUNMT_TRACE=<capacity> the trace ring is on
+  // and can be exported for chrome://tracing.
   printf("\nProcess state:\n");
   sunmt::DumpProcessState(stdout);
+  if (sunmt::Trace::IsEnabled()) {
+    std::string json = sunmt::Trace::ExportChromeJson();
+    FILE* f = fopen("quickstart_trace.json", "w");
+    if (f != nullptr) {
+      fwrite(json.data(), 1, json.size(), f);
+      fclose(f);
+      printf("\nwrote quickstart_trace.json (%zu bytes) -- load it in "
+             "chrome://tracing or https://ui.perfetto.dev\n",
+             json.size());
+    }
+  }
   return 0;
 }

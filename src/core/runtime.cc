@@ -124,11 +124,28 @@ void ApplyEnvOverrides(RuntimeConfig* config) {
   }
 }
 
+// Observability switches, honored once at runtime initialization. Unlike the
+// config knobs above these have no Configure() equivalent — code can always
+// call Stats::Enable()/Trace::Enable() directly.
+void ApplyObservabilityEnv() {
+  const char* env;
+  if ((env = getenv("SUNMT_STATS")) != nullptr && env[0] == '1') {
+    Stats::Enable();
+  }
+  if ((env = getenv("SUNMT_TRACE")) != nullptr && !Trace::IsEnabled()) {
+    int capacity = atoi(env);
+    if (capacity > 0) {
+      Trace::Enable(static_cast<size_t>(capacity));
+    }
+  }
+}
+
 }  // namespace
 
 Runtime::Runtime() {
   config_ = g_pending_config;
   ApplyEnvOverrides(&config_);
+  ApplyObservabilityEnv();
   if (config_.initial_pool_lwps <= 0) {
     config_.initial_pool_lwps = OnlineCpus();
   }

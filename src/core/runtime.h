@@ -15,21 +15,24 @@
 #include "src/core/run_queue.h"
 #include "src/core/tcb.h"
 #include "src/lwp/lwp.h"
+#include "src/stats/stats.h"
 #include "src/util/intrusive_list.h"
 #include "src/util/spinlock.h"
 
 namespace sunmt {
 
-// Process-wide scheduling counters (relaxed; for introspection and tests).
+// Process-wide scheduling counters. Sharded per LWP so the hot scheduler paths
+// never contend on a counter cache line; read via .Load() for introspection
+// and tests.
 struct SchedStats {
-  std::atomic<uint64_t> dispatches{0};       // thread placed onto an LWP
-  std::atomic<uint64_t> yields{0};           // voluntary yield switches
-  std::atomic<uint64_t> preemptions{0};      // timeslice-forced yields
-  std::atomic<uint64_t> blocks{0};           // thread blocked on a sleep queue
-  std::atomic<uint64_t> wakes{0};            // blocked thread made runnable
-  std::atomic<uint64_t> threads_created{0};
-  std::atomic<uint64_t> threads_exited{0};
-  std::atomic<uint64_t> adoptions{0};        // foreign kernel threads adopted
+  ShardedCounter dispatches;       // thread placed onto an LWP
+  ShardedCounter yields;           // voluntary yield switches
+  ShardedCounter preemptions;      // timeslice-forced yields
+  ShardedCounter blocks;           // thread blocked on a sleep queue
+  ShardedCounter wakes;            // blocked thread made runnable
+  ShardedCounter threads_created;
+  ShardedCounter threads_exited;
+  ShardedCounter adoptions;        // foreign kernel threads adopted
 };
 
 SchedStats& GlobalSchedStats();

@@ -11,6 +11,7 @@
 #include "src/core/tls_arena.h"
 #include "src/core/trace.h"
 #include "src/lwp/lwp.h"
+#include "src/stats/stats.h"
 #include "src/util/check.h"
 #include "src/util/clock.h"
 
@@ -48,11 +49,14 @@ void RunCommit(SwitchCommit* commit) {
   Tcb* prev = commit->prev;
   switch (commit->kind) {
     case CommitKind::kYield: {
-      GlobalSchedStats().yields.fetch_add(1, std::memory_order_relaxed);
+      GlobalSchedStats().yields.Inc();
       Trace::Record(TraceEvent::kYield, prev->id, 0);
       {
         SpinLockGuard guard(prev->state_lock);
         prev->state.store(ThreadState::kRunnable, std::memory_order_release);
+      }
+      if (Stats::Enabled()) {
+        prev->runnable_since_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
       }
       Runtime& rt = Runtime::Get();
       rt.run_queue().Push(prev);
@@ -60,7 +64,7 @@ void RunCommit(SwitchCommit* commit) {
       break;
     }
     case CommitKind::kBlock: {
-      GlobalSchedStats().blocks.fetch_add(1, std::memory_order_relaxed);
+      GlobalSchedStats().blocks.Inc();
       Trace::Record(TraceEvent::kBlock, prev->id, 0);
       {
         SpinLockGuard guard(prev->state_lock);
@@ -77,7 +81,7 @@ void RunCommit(SwitchCommit* commit) {
       break;
     }
     case CommitKind::kExit: {
-      GlobalSchedStats().threads_exited.fetch_add(1, std::memory_order_relaxed);
+      GlobalSchedStats().threads_exited.Inc();
       Trace::Record(TraceEvent::kExit, prev->id, 0);
       Runtime::Get().OnThreadExit(prev);
       break;
@@ -113,7 +117,7 @@ Tcb* AdoptCurrentKernelThread() {
   // Build an LWP wrapper around the calling kernel thread and a bound TCB for it.
   // Heap allocation is fine here: adoption happens once per foreign thread, and
   // deliberately leaks (the TCB must outlive any reference from the package).
-  GlobalSchedStats().adoptions.fetch_add(1, std::memory_order_relaxed);
+  GlobalSchedStats().adoptions.Inc();
   static std::atomic<int> next_adopted_id{10000};
   Lwp* lwp = new Lwp(next_adopted_id.fetch_add(1), Lwp::AdoptCurrentThreadTag{});
   Tcb* tcb = new Tcb;
@@ -177,7 +181,8 @@ void SafePoint() {
       !self->IsBound()) {
     Runtime& rt = Runtime::Get();
     if (!rt.run_queue().Empty()) {
-      GlobalSchedStats().preemptions.fetch_add(1, std::memory_order_relaxed);
+      GlobalSchedStats().preemptions.Inc();
+      self->preempt_count.fetch_add(1, std::memory_order_relaxed);
       Trace::Record(TraceEvent::kPreempt, self->id, 0);
       SwitchCommit commit{CommitKind::kYield, self, nullptr};
       Deschedule(self, &commit);  // re-dispatch starts a fresh slice
@@ -206,6 +211,7 @@ void Yield() {
   if (rt.run_queue().Empty()) {
     return;
   }
+  self->yield_count.fetch_add(1, std::memory_order_relaxed);
   SwitchCommit commit{CommitKind::kYield, self, nullptr};
   Deschedule(self, &commit);
   SafePoint();
@@ -258,7 +264,7 @@ void Wake(Tcb* tcb) {
 }
 
 void MakeRunnable(Tcb* tcb) {
-  GlobalSchedStats().wakes.fetch_add(1, std::memory_order_relaxed);
+  GlobalSchedStats().wakes.Inc();
   if (Trace::IsEnabled()) {
     Tcb* waker = CurrentTcb();
     Trace::Record(TraceEvent::kWake, tcb->id, waker != nullptr ? waker->id : 0);
@@ -266,6 +272,9 @@ void MakeRunnable(Tcb* tcb) {
   {
     SpinLockGuard guard(tcb->state_lock);
     tcb->state.store(ThreadState::kRunnable, std::memory_order_release);
+  }
+  if (Stats::Enabled()) {
+    tcb->runnable_since_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
   }
   if (tcb->IsBound()) {
     tcb->bound_lwp->Unpark();
@@ -277,8 +286,17 @@ void MakeRunnable(Tcb* tcb) {
 }
 
 void RunThread(Lwp* lwp, Tcb* tcb) {
-  GlobalSchedStats().dispatches.fetch_add(1, std::memory_order_relaxed);
+  GlobalSchedStats().dispatches.Inc();
   Trace::Record(TraceEvent::kDispatch, tcb->id, static_cast<uint64_t>(lwp->id()));
+  if (Stats::Enabled()) {
+    // Dispatch latency: wake (or yield requeue) -> first instruction on an LWP.
+    int64_t since = tcb->runnable_since_ns.exchange(0, std::memory_order_relaxed);
+    if (since != 0) {
+      Stats::RecordNs(LatencyStat::kDispatchLatency, MonotonicNowNs() - since);
+    }
+    Stats::RecordValue(LatencyStat::kRunQueueDepth,
+                       Runtime::Get().run_queue().Size());
+  }
   lwp->current_thread = tcb;
   {
     SpinLockGuard guard(tcb->state_lock);

@@ -66,6 +66,13 @@ struct Tcb {
   std::atomic<bool> stop_requested{false};
   bool wakeup_pending = false;  // woken while stop-pending; re-run on continue
 
+  // ---- Metrics (written only when Stats::Enabled(), except the counters) ---
+  // Timestamp of the last MakeRunnable/yield-requeue; consumed (exchanged to
+  // 0) at dispatch to compute wake->run latency.
+  std::atomic<int64_t> runnable_since_ns{0};
+  std::atomic<uint64_t> yield_count{0};     // voluntary thread_yield calls
+  std::atomic<uint64_t> preempt_count{0};   // timeslice preemptions suffered
+
 
   // ---- thread_wait plumbing ------------------------------------------------
   bool waitable = false;        // created with THREAD_WAIT

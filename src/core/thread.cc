@@ -79,7 +79,7 @@ thread_id_t thread_create(void* stack_addr, size_t stack_size, void (*func)(void
   tcb->sigmask.store(creator->sigmask.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
 
-  GlobalSchedStats().threads_created.fetch_add(1, std::memory_order_relaxed);
+  GlobalSchedStats().threads_created.Inc();
   Trace::Record(TraceEvent::kCreate, tcb->id, creator->id);
   rt.RegisterThread(tcb);
 

@@ -1,9 +1,12 @@
 #include "src/core/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cinttypes>
+#include <cstdarg>
+#include <map>
+#include <set>
 
-#include "src/util/check.h"
 #include "src/util/clock.h"
 
 namespace sunmt {
@@ -17,17 +20,20 @@ struct Slot {
   TraceRecord record;
 };
 
-struct RingState {
-  std::atomic<bool> enabled{false};
+// One ring generation. `mask` and `slots` are immutable after construction so
+// a writer or reader holding a RingBuf* can never see them change; re-Enable
+// with a different capacity swaps the whole pointer instead.
+struct RingBuf {
+  explicit RingBuf(size_t capacity)
+      : mask(capacity - 1), slots(new Slot[capacity]) {}
+  const size_t mask;
+  Slot* const slots;
   std::atomic<uint64_t> next_ticket{0};
-  size_t mask = 0;  // capacity - 1
-  Slot* slots = nullptr;
 };
 
-RingState& Ring() {
-  static RingState* state = new RingState;
-  return *state;
-}
+std::atomic<bool> g_enabled{false};
+std::atomic<RingBuf*> g_ring{nullptr};
+std::atomic<int64_t> g_enable_time_ns{0};
 
 size_t RoundUpPow2(size_t n) {
   size_t p = 1;
@@ -40,29 +46,50 @@ size_t RoundUpPow2(size_t n) {
 }  // namespace
 
 void Trace::Enable(size_t capacity) {
-  RingState& ring = Ring();
-  SUNMT_CHECK(!ring.enabled.load(std::memory_order_acquire));
   size_t cap = RoundUpPow2(capacity < 16 ? 16 : capacity);
-  delete[] ring.slots;
-  ring.slots = new Slot[cap];
-  ring.mask = cap - 1;
-  ring.next_ticket.store(0, std::memory_order_relaxed);
-  ring.enabled.store(true, std::memory_order_release);
+  RingBuf* ring = g_ring.load(std::memory_order_acquire);
+  if (ring != nullptr && ring->mask + 1 == cap) {
+    // Same capacity: reset the ring in place. Stop new writers, clear every
+    // slot's sequence, restart the ticket. A writer that claimed a ticket
+    // before the stop finishes its store afterwards; its slot then carries a
+    // stale lap number that Collect() rejects, so the worst case is one lost
+    // slot, never a dangling pointer.
+    g_enabled.store(false, std::memory_order_release);
+    for (size_t i = 0; i <= ring->mask; ++i) {
+      ring->slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+    ring->next_ticket.store(0, std::memory_order_release);
+  } else {
+    // New capacity: install a fresh ring. The previous ring is intentionally
+    // leaked — lock-free writers and readers may still hold a pointer to it,
+    // and trace re-enables are rare enough that reclaiming the few hundred KB
+    // is not worth a reclamation protocol.
+    g_ring.store(new RingBuf(cap), std::memory_order_release);
+  }
+  g_enable_time_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
 }
 
-void Trace::Disable() { Ring().enabled.store(false, std::memory_order_release); }
+void Trace::Disable() { g_enabled.store(false, std::memory_order_release); }
 
-bool Trace::IsEnabled() { return Ring().enabled.load(std::memory_order_acquire); }
+bool Trace::IsEnabled() { return g_enabled.load(std::memory_order_acquire); }
+
+int64_t Trace::EnableTimeNs() {
+  return g_enable_time_ns.load(std::memory_order_relaxed);
+}
 
 void Trace::Record(TraceEvent event, uint64_t thread_id, uint64_t arg) {
-  RingState& ring = Ring();
-  if (!ring.enabled.load(std::memory_order_relaxed)) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
     return;
   }
-  uint64_t ticket = ring.next_ticket.fetch_add(1, std::memory_order_relaxed);
-  Slot& slot = ring.slots[ticket & ring.mask];
+  RingBuf* ring = g_ring.load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    return;
+  }
+  uint64_t ticket = ring->next_ticket.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring->slots[ticket & ring->mask];
   // Lap number encodes stability: seq is 2*lap+1 while writing, 2*(lap+1) after.
-  uint64_t lap = ticket / (ring.mask + 1);
+  uint64_t lap = ticket / (ring->mask + 1);
   slot.seq.store(2 * lap + 1, std::memory_order_release);
   slot.record.time_ns = MonotonicNowNs();
   slot.record.thread_id = thread_id;
@@ -73,19 +100,19 @@ void Trace::Record(TraceEvent event, uint64_t thread_id, uint64_t arg) {
 
 size_t Trace::Collect(std::vector<TraceRecord>* out) {
   out->clear();
-  RingState& ring = Ring();
-  if (ring.slots == nullptr) {
+  RingBuf* ring = g_ring.load(std::memory_order_acquire);
+  if (ring == nullptr) {
     return 0;
   }
-  uint64_t end = ring.next_ticket.load(std::memory_order_acquire);
-  size_t capacity = ring.mask + 1;
+  uint64_t end = ring->next_ticket.load(std::memory_order_acquire);
+  size_t capacity = ring->mask + 1;
   uint64_t begin = end > capacity ? end - capacity : 0;
   for (uint64_t ticket = begin; ticket < end; ++ticket) {
-    Slot& slot = ring.slots[ticket & ring.mask];
+    Slot& slot = ring->slots[ticket & ring->mask];
     uint64_t lap = ticket / capacity;
     uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
     if (seq_before != 2 * (lap + 1)) {
-      continue;  // overwritten by a later lap or still being written
+      continue;  // overwritten by a later lap, reset, or still being written
     }
     TraceRecord copy = slot.record;
     if (slot.seq.load(std::memory_order_acquire) != seq_before) {
@@ -99,11 +126,12 @@ size_t Trace::Collect(std::vector<TraceRecord>* out) {
 std::string Trace::Format() {
   std::vector<TraceRecord> records;
   Collect(&records);
+  int64_t base = EnableTimeNs();
   std::string out;
   char line[128];
   for (const TraceRecord& r : records) {
     snprintf(line, sizeof(line), "%12.3fus tid=%-6" PRIu64 " %-10s arg=%" PRIu64 "\n",
-             static_cast<double>(r.time_ns % 1000000000000ll) / 1e3, r.thread_id,
+             static_cast<double>(r.time_ns - base) / 1e3, r.thread_id,
              TraceEventName(r.event), r.arg);
     out += line;
   }
@@ -111,7 +139,173 @@ std::string Trace::Format() {
 }
 
 uint64_t Trace::RecordedCount() {
-  return Ring().next_ticket.load(std::memory_order_relaxed);
+  RingBuf* ring = g_ring.load(std::memory_order_acquire);
+  return ring == nullptr ? 0
+                         : ring->next_ticket.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// --- Chrome trace_event export -----------------------------------------
+//
+// Layout: pid 1 holds one track per LWP ("what is this processor resource
+// doing": which thread it runs, kernel waits); pid 2 holds one track per
+// thread ("what is this thread waiting on": lock/cv waits, lifetime spans).
+
+void AppendEvent(std::vector<std::string>* events, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendEvent(std::vector<std::string>* events, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  events->push_back(buf);
+}
+
+}  // namespace
+
+std::string Trace::ExportChromeJson() {
+  std::vector<TraceRecord> records;
+  Collect(&records);
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.time_ns < b.time_ns;
+                   });
+
+  int64_t base = EnableTimeNs();
+  if (!records.empty() && records.front().time_ns < base) {
+    base = records.front().time_ns;
+  }
+  auto us = [base](int64_t t) { return static_cast<double>(t - base) / 1e3; };
+
+  std::vector<std::string> events;
+  AppendEvent(&events,
+              "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+              "\"args\":{\"name\":\"lwps\"}}");
+  AppendEvent(&events,
+              "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,"
+              "\"args\":{\"name\":\"threads\"}}");
+
+  std::set<uint64_t> lwp_tracks;
+  // thread id -> {span start ts (us), lwp it runs on}; open while dispatched.
+  struct RunSpan {
+    double start_us;
+    uint64_t lwp;
+  };
+  std::map<uint64_t, RunSpan> running;
+  double last_ts = 0;
+
+  auto close_span = [&](uint64_t tid, double ts, const char* reason) {
+    auto it = running.find(tid);
+    if (it == running.end()) {
+      return;
+    }
+    double dur = ts - it->second.start_us;
+    AppendEvent(&events,
+                "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu64
+                ",\"name\":\"tid %" PRIu64
+                "\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"end\":\"%s\"}}",
+                it->second.lwp, tid, it->second.start_us, dur < 0 ? 0 : dur,
+                reason);
+    running.erase(it);
+  };
+
+  for (const TraceRecord& r : records) {
+    double ts = us(r.time_ns);
+    last_ts = ts;
+    switch (r.event) {
+      case TraceEvent::kDispatch:
+        close_span(r.thread_id, ts, "redispatch");
+        lwp_tracks.insert(r.arg);
+        running[r.thread_id] = RunSpan{ts, r.arg};
+        break;
+      case TraceEvent::kYield:
+      case TraceEvent::kPreempt:
+      case TraceEvent::kBlock:
+      case TraceEvent::kStop:
+        close_span(r.thread_id, ts, TraceEventName(r.event));
+        break;
+      case TraceEvent::kExit:
+        close_span(r.thread_id, ts, "EXIT");
+        AppendEvent(&events,
+                    "{\"ph\":\"e\",\"cat\":\"thread\",\"id\":%" PRIu64
+                    ",\"pid\":2,\"tid\":%" PRIu64
+                    ",\"name\":\"lifetime\",\"ts\":%.3f}",
+                    r.thread_id, r.thread_id, ts);
+        break;
+      case TraceEvent::kCreate:
+        AppendEvent(&events,
+                    "{\"ph\":\"b\",\"cat\":\"thread\",\"id\":%" PRIu64
+                    ",\"pid\":2,\"tid\":%" PRIu64
+                    ",\"name\":\"lifetime\",\"ts\":%.3f,"
+                    "\"args\":{\"creator\":%" PRIu64 "}}",
+                    r.thread_id, r.thread_id, ts, r.arg);
+        break;
+      case TraceEvent::kMutexWait:
+      case TraceEvent::kRwWait:
+      case TraceEvent::kSemaWait:
+      case TraceEvent::kCvWait: {
+        // arg is the wait duration in ns; the record marks the wait's end.
+        double dur = static_cast<double>(r.arg) / 1e3;
+        AppendEvent(&events,
+                    "{\"ph\":\"X\",\"pid\":2,\"tid\":%" PRIu64
+                    ",\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                    r.thread_id, TraceEventName(r.event), ts - dur, dur);
+        break;
+      }
+      case TraceEvent::kKernelWait: {
+        double dur = static_cast<double>(r.arg) / 1e3;
+        lwp_tracks.insert(r.thread_id);
+        AppendEvent(&events,
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu64
+                    ",\"name\":\"KERNEL_WAIT\",\"ts\":%.3f,\"dur\":%.3f}",
+                    r.thread_id, ts - dur, dur);
+        break;
+      }
+      case TraceEvent::kSigwaiting:
+        AppendEvent(&events,
+                    "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,"
+                    "\"name\":\"SIGWAITING\",\"ts\":%.3f,"
+                    "\"args\":{\"pool\":%" PRIu64 "}}",
+                    ts, r.arg);
+        break;
+      case TraceEvent::kWake:
+      case TraceEvent::kContinue:
+      case TraceEvent::kSignal:
+        AppendEvent(&events,
+                    "{\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\"tid\":%" PRIu64
+                    ",\"name\":\"%s\",\"ts\":%.3f,\"args\":{\"arg\":%" PRIu64
+                    "}}",
+                    r.thread_id, TraceEventName(r.event), ts, r.arg);
+        break;
+    }
+  }
+
+  // Threads still on an LWP when the ring was dumped: close them at the last
+  // timestamp so the viewer doesn't drop the spans.
+  while (!running.empty()) {
+    close_span(running.begin()->first, last_ts, "trace-end");
+  }
+
+  for (uint64_t lwp : lwp_tracks) {
+    AppendEvent(&events,
+                "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+                "\"tid\":%" PRIu64 ",\"args\":{\"name\":\"LWP %" PRIu64 "\"}}",
+                lwp, lwp);
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += events[i];
+    if (i + 1 < events.size()) {
+      out += ',';
+    }
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
 }
 
 const char* TraceEventName(TraceEvent event) {
@@ -138,6 +332,16 @@ const char* TraceEventName(TraceEvent event) {
       return "SIGNAL";
     case TraceEvent::kSigwaiting:
       return "SIGWAITING";
+    case TraceEvent::kMutexWait:
+      return "MUTEX_WAIT";
+    case TraceEvent::kRwWait:
+      return "RW_WAIT";
+    case TraceEvent::kSemaWait:
+      return "SEMA_WAIT";
+    case TraceEvent::kCvWait:
+      return "CV_WAIT";
+    case TraceEvent::kKernelWait:
+      return "KERNEL_WAIT";
   }
   return "?";
 }

@@ -73,6 +73,8 @@ void SnapshotThreads(std::vector<ThreadSnapshot>* out) {
     snap.lwp_id = lwp != nullptr ? lwp->id() : -1;
     snap.pending_signals = t->pending_signals.load(std::memory_order_relaxed);
     snap.sigmask = t->sigmask.load(std::memory_order_relaxed);
+    snap.yields = t->yield_count.load(std::memory_order_relaxed);
+    snap.preempts = t->preempt_count.load(std::memory_order_relaxed);
     out->push_back(snap);
   });
 }
@@ -86,14 +88,14 @@ void SnapshotLwps(std::vector<LwpSnapshot>* out) {
 SchedStatsSnapshot SnapshotSchedStats() {
   SchedStats& stats = GlobalSchedStats();
   SchedStatsSnapshot snap;
-  snap.dispatches = stats.dispatches.load(std::memory_order_relaxed);
-  snap.yields = stats.yields.load(std::memory_order_relaxed);
-  snap.preemptions = stats.preemptions.load(std::memory_order_relaxed);
-  snap.blocks = stats.blocks.load(std::memory_order_relaxed);
-  snap.wakes = stats.wakes.load(std::memory_order_relaxed);
-  snap.threads_created = stats.threads_created.load(std::memory_order_relaxed);
-  snap.threads_exited = stats.threads_exited.load(std::memory_order_relaxed);
-  snap.adoptions = stats.adoptions.load(std::memory_order_relaxed);
+  snap.dispatches = stats.dispatches.Load();
+  snap.yields = stats.yields.Load();
+  snap.preemptions = stats.preemptions.Load();
+  snap.blocks = stats.blocks.Load();
+  snap.wakes = stats.wakes.Load();
+  snap.threads_created = stats.threads_created.Load();
+  snap.threads_exited = stats.threads_exited.Load();
+  snap.adoptions = stats.adoptions.Load();
   snap.sigwaiting_events =
       Runtime::IsInitialized() ? Runtime::Get().sigwaiting_count() : 0;
   return snap;
@@ -109,13 +111,14 @@ std::string FormatProcessState() {
   char line[160];
   snprintf(line, sizeof(line), "THREADS (%zu)\n", threads.size());
   out += line;
-  out += "  TID      NAME             STATE     PRI  BOUND  WAIT  LWP  PENDING\n";
+  out += "  TID      NAME             STATE     PRI  BOUND  WAIT  LWP  YIELDS   PREEMPTS PENDING\n";
   for (const ThreadSnapshot& t : threads) {
     snprintf(line, sizeof(line),
-             "  %-8" PRIu64 " %-16s %-9s %-4d %-6s %-5s %-4d 0x%" PRIx64 "\n", t.id,
-             t.name[0] != '\0' ? t.name : "-", t.state, t.priority,
+             "  %-8" PRIu64 " %-16s %-9s %-4d %-6s %-5s %-4d %-8" PRIu64
+             " %-8" PRIu64 " 0x%" PRIx64 "\n",
+             t.id, t.name[0] != '\0' ? t.name : "-", t.state, t.priority,
              t.bound ? "yes" : "no", t.waitable ? "yes" : "no", t.lwp_id,
-             t.pending_signals);
+             t.yields, t.preempts, t.pending_signals);
     out += line;
   }
   snprintf(line, sizeof(line), "LWPS (%zu)\n", lwps.size());
@@ -141,6 +144,9 @@ std::string FormatProcessState() {
            stats.threads_created, stats.threads_exited, stats.adoptions,
            stats.sigwaiting_events);
   out += line;
+  if (Stats::Enabled()) {
+    out += FormatStats();
+  }
   return out;
 }
 

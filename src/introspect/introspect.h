@@ -27,6 +27,8 @@ struct ThreadSnapshot {
   int lwp_id;  // carrying/bound LWP, -1 if none
   uint64_t pending_signals;
   uint64_t sigmask;
+  uint64_t yields;    // voluntary thread_yield calls by this thread
+  uint64_t preempts;  // timeslice preemptions suffered by this thread
 };
 
 struct LwpSnapshot {

@@ -4,11 +4,21 @@
 // process for the duration of the kernel call." Process-shared sync waits and the
 // blocking I/O wrappers use this scope; indefinite waits make the LWP eligible for
 // the SIGWAITING condition.
+//
+// The scope also feeds observability: when stats or tracing are on, the wait's
+// wall duration lands in the kernel_wait histogram and the trace ring (subject =
+// LWP id, since this layer cannot see TCBs). trace.h and stats.h are leaf
+// headers, so including them here does not cycle back into src/core — the
+// recording symbols resolve when the consumer (sync/io/timer) links sunmt_core
+// and sunmt_stats.
 
 #ifndef SUNMT_SRC_LWP_KERNEL_WAIT_H_
 #define SUNMT_SRC_LWP_KERNEL_WAIT_H_
 
+#include "src/core/trace.h"
 #include "src/lwp/lwp.h"
+#include "src/stats/stats.h"
+#include "src/util/clock.h"
 
 namespace sunmt {
 
@@ -17,11 +27,24 @@ class KernelWaitScope {
   explicit KernelWaitScope(bool indefinite) : lwp_(Lwp::Current()) {
     if (lwp_ != nullptr) {
       lwp_->EnterKernelWait(indefinite);
+      if (Stats::Enabled() || Trace::IsEnabled()) {
+        start_ns_ = MonotonicNowNs();
+      }
     }
   }
   ~KernelWaitScope() {
     if (lwp_ != nullptr) {
       lwp_->ExitKernelWait();
+      if (start_ns_ != 0) {
+        int64_t waited = MonotonicNowNs() - start_ns_;
+        if (waited < 0) {
+          waited = 0;
+        }
+        Stats::RecordNs(LatencyStat::kKernelWait, waited);
+        Trace::Record(TraceEvent::kKernelWait,
+                      static_cast<uint64_t>(lwp_->id()),
+                      static_cast<uint64_t>(waited));
+      }
     }
   }
   KernelWaitScope(const KernelWaitScope&) = delete;
@@ -29,6 +52,7 @@ class KernelWaitScope {
 
  private:
   Lwp* lwp_;
+  int64_t start_ns_ = 0;
 };
 
 }  // namespace sunmt

@@ -1,0 +1,160 @@
+// Fixed-size log2-bucket histograms for latency (and depth) distributions.
+//
+// The paper's /proc extension gives point-in-time state; distributions are what
+// actually pick a lock variant or expose a scheduling pathology (see
+// "Basic Lock Algorithms in Lightweight Thread Environments": contention-wait
+// distributions, not means, separate spin from adaptive from sleep locks).
+//
+// Design constraints, in order:
+//   * lock-free writers: Record() is two relaxed fetch_adds plus a CAS max loop
+//     that almost always exits on the first load;
+//   * mergeable: shards (one per LWP, see stats.h) accumulate independently and
+//     are summed into a HistogramSnapshot at read time;
+//   * fixed size: 64 power-of-two buckets cover 1ns..2^63ns (≈292 years), so a
+//     histogram is a flat 0.5KB array with no allocation ever.
+
+#ifndef SUNMT_SRC_STATS_HISTOGRAM_H_
+#define SUNMT_SRC_STATS_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace sunmt {
+
+class Histogram;
+
+// A plain (non-atomic) copy of one or more merged histograms, with quantile
+// estimation. Quantiles interpolate linearly inside a bucket and are clamped to
+// the exact observed maximum.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  uint64_t buckets[kBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  void Accumulate(const Histogram& h);
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+
+  // q in [0, 1]. Returns 0 for an empty snapshot.
+  double Quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
+
+  // Bucket 0 holds the value 0; bucket b>0 holds [2^(b-1), 2^b).
+  static int BucketIndex(uint64_t value) {
+    if (value == 0) {
+      return 0;
+    }
+    int bucket = 64 - std::countl_zero(value);
+    return bucket < kBuckets ? bucket : kBuckets - 1;
+  }
+  static uint64_t BucketLowerBound(int bucket) {
+    return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+  }
+
+  // Lock-free; safe from any thread concurrently.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  void RecordNs(int64_t ns) { Record(ns < 0 ? 0 : static_cast<uint64_t>(ns)); }
+
+  // Adds `other`'s contents into this histogram (relaxed reads of a live
+  // histogram: counts may lag in-flight writers, never tear).
+  void Merge(const Histogram& other) {
+    for (int b = 0; b < kBuckets; ++b) {
+      uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+      if (n != 0) {
+        buckets_[b].fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (other_max > seen &&
+           !max_.compare_exchange_weak(seen, other_max, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) {
+      total += b.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    for (auto& b : buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend struct HistogramSnapshot;
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+inline void HistogramSnapshot::Accumulate(const Histogram& h) {
+  for (int b = 0; b < kBuckets; ++b) {
+    uint64_t n = h.buckets_[b].load(std::memory_order_relaxed);
+    buckets[b] += n;
+    count += n;
+  }
+  sum += h.sum_.load(std::memory_order_relaxed);
+  uint64_t m = h.max_.load(std::memory_order_relaxed);
+  if (m > max) {
+    max = m;
+  }
+}
+
+inline double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) {
+    target = 1.0;
+  }
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + buckets[b]) >= target) {
+      double lo = static_cast<double>(Histogram::BucketLowerBound(b));
+      double hi = b == 0 ? 1.0 : lo * 2.0;
+      double frac = (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(buckets[b]);
+      double value = lo + frac * (hi - lo);
+      if (max > 0 && value > static_cast<double>(max)) {
+        return static_cast<double>(max);
+      }
+      return value;
+    }
+    cumulative += buckets[b];
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_STATS_HISTOGRAM_H_

@@ -38,10 +38,14 @@ void cv_wait(condvar_t* cvp, mutex_t* mutexp) {
   if (IsShared(cvp)) {
     uint32_t seq = cvp->seq.load(std::memory_order_acquire);
     mutex_exit(mutexp);
+    int64_t t0 = SyncWaitStartNs();
     {
       KernelWaitScope wait(/*indefinite=*/true);
       FutexWait(&cvp->seq, seq, /*shared=*/true);
     }
+    Tcb* cur = sched::CurrentTcb();
+    SyncWaitEndNs(LatencyStat::kCondvarWaitShared, TraceEvent::kCvWait,
+                  cur != nullptr ? static_cast<uint64_t>(cur->id) : 0, t0);
     mutex_enter(mutexp);
     return;
   }
@@ -49,7 +53,10 @@ void cv_wait(condvar_t* cvp, mutex_t* mutexp) {
   cvp->qlock.Lock();
   WaitqPush(&cvp->wait_head, &cvp->wait_tail, self);
   mutex_exit(mutexp);
+  int64_t t0 = SyncWaitStartNs();
   sched::Block(&cvp->qlock);  // releases qlock after the context save
+  SyncWaitEndNs(LatencyStat::kCondvarWaitLocal, TraceEvent::kCvWait,
+                static_cast<uint64_t>(self->id), t0);
   mutex_enter(mutexp);
 }
 

@@ -31,6 +31,27 @@ bool IsShared(const mutex_t* mp) { return (mp->type & THREAD_SYNC_SHARED) != 0; 
 bool IsSpin(const mutex_t* mp) { return (mp->type & SYNC_SPIN) != 0; }
 bool IsDebug(const mutex_t* mp) { return (mp->type & SYNC_DEBUG) != 0; }
 
+// Metrics are keyed by variant so the distributions answer the lock-choice
+// question directly (spin vs adaptive vs debug vs shared).
+LatencyStat MutexWaitStat(const mutex_t* mp) {
+  if (IsShared(mp)) return LatencyStat::kMutexWaitShared;
+  if (IsSpin(mp)) return LatencyStat::kMutexWaitSpin;
+  if (IsDebug(mp)) return LatencyStat::kMutexWaitDebug;
+  return LatencyStat::kMutexWaitAdaptive;
+}
+
+LatencyStat MutexHoldStat(const mutex_t* mp) {
+  if (IsShared(mp)) return LatencyStat::kMutexHoldShared;
+  if (IsSpin(mp)) return LatencyStat::kMutexHoldSpin;
+  if (IsDebug(mp)) return LatencyStat::kMutexHoldDebug;
+  return LatencyStat::kMutexHoldAdaptive;
+}
+
+uint64_t CurrentTid() {
+  Tcb* self = sched::CurrentTcb();
+  return self != nullptr ? static_cast<uint64_t>(self->id) : 0;
+}
+
 // SYNC_DEBUG deadlock detection: each blocker first publishes its own
 // wait-for edge (seq_cst), then walks the graph (thread -> mutex it blocks on
 // -> that mutex's owner -> ...); reaching ourselves means the cycle is closed.
@@ -63,10 +84,15 @@ void SharedEnter(mutex_t* mp) {
   }
   // Contended: the calling thread stays bound to its LWP, which blocks in the
   // kernel (futex) until the holder — possibly in another process — releases.
-  KernelWaitScope wait(/*indefinite=*/true);
-  while (mp->word.exchange(kContended, std::memory_order_acquire) != kFree) {
-    FutexWait(&mp->word, kContended, /*shared=*/true);
+  int64_t t0 = SyncWaitStartNs();
+  {
+    KernelWaitScope wait(/*indefinite=*/true);
+    while (mp->word.exchange(kContended, std::memory_order_acquire) != kFree) {
+      FutexWait(&mp->word, kContended, /*shared=*/true);
+    }
   }
+  SyncWaitEndNs(LatencyStat::kMutexWaitShared, TraceEvent::kMutexWait,
+                CurrentTid(), t0);
 }
 
 void SharedExit(mutex_t* mp) {
@@ -81,6 +107,8 @@ void LocalEnter(mutex_t* mp) {
                                        std::memory_order_relaxed)) {
     return;
   }
+  // Past the uncontended fast path: everything below is a contention wait.
+  int64_t t0 = SyncWaitStartNs();
   if (IsSpin(mp)) {
     Backoff backoff;
     int spins = 0;
@@ -88,6 +116,8 @@ void LocalEnter(mutex_t* mp) {
       cur = kFree;
       if (mp->word.compare_exchange_weak(cur, kHeld, std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
+        SyncWaitEndNs(LatencyStat::kMutexWaitSpin, TraceEvent::kMutexWait,
+                      CurrentTid(), t0);
         return;
       }
       backoff.Pause();
@@ -104,6 +134,7 @@ void LocalEnter(mutex_t* mp) {
     cur = kFree;
     if (mp->word.compare_exchange_weak(cur, kHeld, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
+      SyncWaitEndNs(MutexWaitStat(mp), TraceEvent::kMutexWait, CurrentTid(), t0);
       return;
     }
     CpuRelax();
@@ -115,6 +146,8 @@ void LocalEnter(mutex_t* mp) {
     if (mp->word.compare_exchange_strong(cur, kHeld, std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
       mp->qlock.Unlock();
+      SyncWaitEndNs(MutexWaitStat(mp), TraceEvent::kMutexWait,
+                    static_cast<uint64_t>(self->id), t0);
       return;
     }
     if (IsDebug(mp)) {
@@ -150,6 +183,7 @@ void mutex_init(mutex_t* mp, int type, void* arg) {
   mp->wait_head = nullptr;
   mp->wait_tail = nullptr;
   mp->owner = nullptr;
+  mp->acquired_ns = 0;
 }
 
 void mutex_enter(mutex_t* mp) {
@@ -165,6 +199,9 @@ void mutex_enter(mutex_t* mp) {
   if (IsDebug(mp)) {
     mp->owner = sched::CurrentTcb();
   }
+  if (Stats::Enabled()) {
+    mp->acquired_ns = MonotonicNowNs();
+  }
 }
 
 void mutex_exit(mutex_t* mp) {
@@ -173,6 +210,14 @@ void mutex_exit(mutex_t* mp) {
     Tcb* self = sched::CurrentTcbOrAdopt();
     SUNMT_CHECK(mp->owner == self);
     mp->owner = nullptr;
+  }
+  if (mp->acquired_ns != 0) {
+    // Stats may have been toggled mid-hold; the reset keeps stale timestamps
+    // from surviving a disable.
+    if (Stats::Enabled()) {
+      Stats::RecordNs(MutexHoldStat(mp), MonotonicNowNs() - mp->acquired_ns);
+    }
+    mp->acquired_ns = 0;
   }
   if (IsShared(mp)) {
     SharedExit(mp);
@@ -187,6 +232,9 @@ int mutex_tryenter(mutex_t* mp) {
                                              std::memory_order_relaxed);
   if (ok && IsDebug(mp)) {
     mp->owner = sched::CurrentTcbOrAdopt();
+  }
+  if (ok && Stats::Enabled()) {
+    mp->acquired_ns = MonotonicNowNs();
   }
   return ok ? 1 : 0;
 }

@@ -96,8 +96,11 @@ void LocalEnter(rwlock_t* rwlp, rw_type_t type) {
     ++rwlp->waiting_writers;
   }
   WaitqPush(&rwlp->wait_head, &rwlp->wait_tail, self);
+  int64_t t0 = SyncWaitStartNs();
   sched::Block(&rwlp->qlock);
   // Direct hand-off: the waker already transferred ownership to us.
+  SyncWaitEndNs(LatencyStat::kRwlockWaitLocal, TraceEvent::kRwWait,
+                static_cast<uint64_t>(self->id), t0);
 }
 
 void LocalExit(rwlock_t* rwlp) {
@@ -184,24 +187,42 @@ int LocalTryUpgrade(rwlock_t* rwlp) {
   // Other readers hold the lock: wait for them to drain (new readers are kept
   // out while an upgrade is pending).
   rwlp->upgrader = self;
+  int64_t t0 = SyncWaitStartNs();
   sched::Block(&rwlp->qlock);
   // The last exiting reader converted our hold to a writer lock.
+  SyncWaitEndNs(LatencyStat::kRwlockWaitLocal, TraceEvent::kRwWait,
+                static_cast<uint64_t>(self->id), t0);
   return 1;
 }
 
 // ---- Shared (futex) variant ---------------------------------------------------
 
+// Wait-end bookkeeping for the shared variant's lazily started timer.
+void SharedWaitEnd(int64_t t0) {
+  if (t0 == 0) {
+    return;
+  }
+  Tcb* self = sched::CurrentTcb();
+  SyncWaitEndNs(LatencyStat::kRwlockWaitShared, TraceEvent::kRwWait,
+                self != nullptr ? static_cast<uint64_t>(self->id) : 0, t0);
+}
+
 void SharedEnter(rwlock_t* rwlp, rw_type_t type) {
   std::atomic<uint32_t>* word = &rwlp->state;
+  int64_t t0 = 0;  // started lazily on the first futex wait
   if (type == RW_READER) {
     for (;;) {
       uint32_t s = word->load(std::memory_order_relaxed);
       if ((s & (kWriterBit | kWriterWaitBit)) == 0) {
         if (word->compare_exchange_weak(s, s + 1, std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
+          SharedWaitEnd(t0);
           return;
         }
         continue;
+      }
+      if (t0 == 0) {
+        t0 = SyncWaitStartNs();
       }
       KernelWaitScope wait(/*indefinite=*/true);
       FutexWait(word, s, /*shared=*/true);
@@ -212,6 +233,7 @@ void SharedEnter(rwlock_t* rwlp, rw_type_t type) {
     if ((s & ~kWriterWaitBit) == 0) {
       if (word->compare_exchange_weak(s, kWriterBit, std::memory_order_acquire,
                                       std::memory_order_relaxed)) {
+        SharedWaitEnd(t0);
         return;
       }
       continue;
@@ -222,6 +244,9 @@ void SharedEnter(rwlock_t* rwlp, rw_type_t type) {
         continue;
       }
       s |= kWriterWaitBit;
+    }
+    if (t0 == 0) {
+      t0 = SyncWaitStartNs();
     }
     KernelWaitScope wait(/*indefinite=*/true);
     FutexWait(word, s, /*shared=*/true);

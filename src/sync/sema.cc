@@ -22,13 +22,23 @@ namespace {
 bool IsShared(const sema_t* sp) { return (sp->type & THREAD_SYNC_SHARED) != 0; }
 
 void SharedP(sema_t* sp) {
+  int64_t t0 = 0;  // started lazily: only the blocking path is a "wait"
   for (;;) {
     uint32_t cur = sp->count.load(std::memory_order_relaxed);
     while (cur > 0) {
       if (sp->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
                                           std::memory_order_relaxed)) {
+        if (t0 != 0) {
+          Tcb* self = sched::CurrentTcb();
+          SyncWaitEndNs(LatencyStat::kSemaWaitShared, TraceEvent::kSemaWait,
+                        self != nullptr ? static_cast<uint64_t>(self->id) : 0,
+                        t0);
+        }
         return;
       }
+    }
+    if (t0 == 0) {
+      t0 = SyncWaitStartNs();
     }
     KernelWaitScope wait(/*indefinite=*/true);
     FutexWait(&sp->count, 0, /*shared=*/true);
@@ -64,8 +74,11 @@ void sema_p(sema_t* sp) {
     return;
   }
   WaitqPush(&sp->wait_head, &sp->wait_tail, self);
+  int64_t t0 = SyncWaitStartNs();
   sched::Block(&sp->qlock);
   // Woken by sema_v with the credit handed off directly; nothing to re-check.
+  SyncWaitEndNs(LatencyStat::kSemaWaitLocal, TraceEvent::kSemaWait,
+                static_cast<uint64_t>(self->id), t0);
 }
 
 void sema_v(sema_t* sp) {

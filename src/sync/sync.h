@@ -56,6 +56,9 @@ struct mutex_t {
   Tcb* wait_head{nullptr};
   Tcb* wait_tail{nullptr};
   Tcb* owner{nullptr};  // maintained by the SYNC_DEBUG variant
+  // Hold-time metrics: enter timestamp, written by the holder while stats are
+  // enabled (0 otherwise). Strict bracketing makes this race-free.
+  int64_t acquired_ns{0};
 };
 
 struct condvar_t {

@@ -8,6 +8,9 @@
 #define SUNMT_SRC_SYNC_WAITQ_H_
 
 #include "src/core/tcb.h"
+#include "src/core/trace.h"
+#include "src/stats/stats.h"
+#include "src/util/clock.h"
 
 namespace sunmt {
 
@@ -56,6 +59,28 @@ inline bool WaitqRemove(Tcb** head, Tcb** tail, Tcb* tcb) {
     return true;
   }
   return false;
+}
+
+// ---- Contention-wait timing -------------------------------------------------
+// Used on every sync slow path: SyncWaitStartNs() before waiting (0 means
+// "don't bother" — neither stats nor trace wants the sample, so no clock is
+// read), SyncWaitEndNs() after reacquisition.
+
+inline int64_t SyncWaitStartNs() {
+  return (Stats::Enabled() || Trace::IsEnabled()) ? MonotonicNowNs() : 0;
+}
+
+inline void SyncWaitEndNs(LatencyStat stat, TraceEvent event, uint64_t tid,
+                          int64_t start_ns) {
+  if (start_ns == 0) {
+    return;
+  }
+  int64_t waited = MonotonicNowNs() - start_ns;
+  if (waited < 0) {
+    waited = 0;
+  }
+  Stats::RecordNs(stat, waited);
+  Trace::Record(event, tid, static_cast<uint64_t>(waited));
 }
 
 }  // namespace sunmt
