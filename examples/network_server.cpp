@@ -1,14 +1,21 @@
-// Network server: blocking I/O, one thread per connection, SIGWAITING growth.
+// Network server: event-driven I/O on the netpoller, one thread per connection.
 //
-// The paper's network-server motivation: each request is "a separate sequence"
-// written in blocking style, and the library keeps the process from deadlocking
-// when every LWP is parked in the kernel waiting for I/O — SIGWAITING grows the
-// pool on demand instead of pre-committing kernel resources.
+// The paper's network-server motivation — each request is "a separate sequence"
+// written in blocking style — but served the M:N way: every fd is registered
+// with the netpoller (src/net), so a handler waiting for a request parks the
+// *thread* on readiness instead of pinning an LWP in the kernel. The LWP pool
+// stays at its configured size no matter how many connections sit idle; compare
+// with the SIGWAITING growth this example demonstrated before the netpoller
+// existed (bench/abl_net_echo.cc measures both paths side by side).
 //
-// The "network" is a set of pipes (one per client). Each connection handler
-// thread loops on a blocking io_read; a client pump writes requests with random
-// delays. Watch the LWP pool: it starts at 1 and grows just enough.
+// The connections are real TCP sockets over loopback. The acceptor uses the
+// three-argument io_accept — which both fills in the peer address and, because
+// the listener is registered, routes through the poller's parking path.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -17,109 +24,148 @@
 #include "src/core/runtime.h"
 #include "src/core/thread.h"
 #include "src/io/io.h"
-#include "src/sync/sync.h"
-#include "src/util/rng.h"
+#include "src/net/net.h"
 
 namespace {
 
 constexpr int kConnections = 8;
-constexpr int kRequestsPerConnection = 50;
+constexpr int kRequestsPerConnection = 25;
+constexpr int kPoolLwps = 2;
 
-struct Connection {
-  int read_fd;
-  int write_fd;
-  int handled = 0;
-  sunmt::sema_t* done;
-};
+std::atomic<int> g_requests_served{0};
+std::atomic<int> g_handlers_done{0};
+std::atomic<int> g_clients_ok{0};
+sockaddr_in g_server_addr = {};
 
+// One handler thread per accepted connection: parked on readiness between
+// requests, costing no LWP while idle.
 void ConnectionHandler(void* arg) {
-  auto* conn = static_cast<Connection*>(arg);
+  int fd = static_cast<int>(reinterpret_cast<intptr_t>(arg));
   for (;;) {
     char request = 0;
-    ssize_t n = sunmt::io_read(conn->read_fd, &request, 1);  // blocks the LWP
+    ssize_t n = sunmt::net_read(fd, &request, 1);
     if (n != 1 || request == 'Q') {
       break;
     }
-    // "Service" the request: echo a response byte (uppercase).
     char response = static_cast<char>(request - 'a' + 'A');
-    sunmt::io_write(conn->write_fd, &response, 1);
-    ++conn->handled;
+    if (sunmt::net_write(fd, &response, 1) != 1) {
+      break;
+    }
+    g_requests_served.fetch_add(1);
   }
-  sunmt::sema_v(conn->done);
+  sunmt::net_unregister(fd);
+  close(fd);
+  g_handlers_done.fetch_add(1);
+}
+
+void Acceptor(void* arg) {
+  int listener = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  for (int accepted = 0; accepted < kConnections; ++accepted) {
+    sockaddr_in peer = {};
+    socklen_t peer_len = sizeof(peer);
+    // Three-argument accept: peer address filled in, no extra getpeername —
+    // and the registered listener routes this through the poller.
+    int conn = sunmt::io_accept(listener, reinterpret_cast<sockaddr*>(&peer),
+                                &peer_len);
+    if (conn < 0) {
+      fprintf(stderr, "accept failed: errno %d\n", sunmt::thread_errno());
+      break;
+    }
+    if (sunmt::net_register(conn) != 0) {
+      close(conn);
+      break;
+    }
+    printf("  accepted connection %d from %s:%d\n", accepted,
+           inet_ntoa(peer.sin_addr), ntohs(peer.sin_port));
+    sunmt::thread_create(nullptr, 0, &ConnectionHandler,
+                         reinterpret_cast<void*>(static_cast<intptr_t>(conn)), 0);
+  }
+}
+
+void Client(void*) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 || sunmt::net_register(fd) != 0 ||
+      sunmt::net_connect(fd, reinterpret_cast<sockaddr*>(&g_server_addr),
+                         sizeof(g_server_addr)) != 0) {
+    fprintf(stderr, "connect failed: errno %d\n", sunmt::thread_errno());
+    return;
+  }
+  bool ok = true;
+  for (int i = 0; i < kRequestsPerConnection && ok; ++i) {
+    char request = static_cast<char>('a' + (i % 26));
+    char response = 0;
+    ok = sunmt::net_write(fd, &request, 1) == 1 &&
+         sunmt::net_read(fd, &response, 1) == 1 &&
+         response == request - 'a' + 'A';
+  }
+  char quit = 'Q';
+  sunmt::net_write(fd, &quit, 1);
+  sunmt::net_unregister(fd);
+  close(fd);
+  if (ok) {
+    g_clients_ok.fetch_add(1);
+  }
 }
 
 }  // namespace
 
 int main() {
   sunmt::RuntimeConfig config;
-  config.initial_pool_lwps = 1;  // start minimal; let SIGWAITING size the pool
+  config.initial_pool_lwps = kPoolLwps;  // fixed small pool: the point
   sunmt::Runtime::Configure(config);
 
-  printf("network_server: %d connections, blocking reads, pool starts at 1 LWP\n",
+  if (sunmt::net_poller_start() != 0) {
+    fprintf(stderr, "net_poller_start failed\n");
+    return 1;
+  }
+
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  socklen_t len = sizeof(addr);
+  if (listener < 0 || bind(listener, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
+      listen(listener, kConnections) != 0 ||
+      getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      sunmt::net_register(listener) != 0) {
+    perror("listener setup");
+    return 1;
+  }
+  g_server_addr = addr;
+
+  printf("network_server: %d TCP connections on 127.0.0.1:%d, pool fixed at %d LWPs\n",
+         kConnections, ntohs(addr.sin_port), kPoolLwps);
+
+  sunmt::thread_create(nullptr, 0, &Acceptor,
+                       reinterpret_cast<void*>(static_cast<intptr_t>(listener)), 0);
+  sunmt::thread_id_t clients[kConnections];
+  for (int c = 0; c < kConnections; ++c) {
+    clients[c] = sunmt::thread_create(nullptr, 0, &Client, nullptr,
+                                      sunmt::THREAD_WAIT);
+  }
+  for (int c = 0; c < kConnections; ++c) {
+    sunmt::thread_wait(clients[c]);
+  }
+  while (g_handlers_done.load() < kConnections) {
+    sunmt::io_sleep_ms(1);
+  }
+  sunmt::net_unregister(listener);
+  close(listener);
+
+  printf("served %d requests across %d connections\n", g_requests_served.load(),
          kConnections);
-
-  sunmt::sema_t done = {};
-  Connection conns[kConnections];
-  int request_wr[kConnections];   // client side: where the pump writes requests
-  int response_rd[kConnections];  // client side: where the pump reads responses
-  for (int c = 0; c < kConnections; ++c) {
-    int request_pipe[2];
-    int response_pipe[2];
-    if (pipe(request_pipe) != 0 || pipe(response_pipe) != 0) {
-      perror("pipe");
-      return 1;
-    }
-    conns[c] = {request_pipe[0], response_pipe[1], 0, &done};
-    request_wr[c] = request_pipe[1];
-    response_rd[c] = response_pipe[0];
-    sunmt::thread_create(nullptr, 0, &ConnectionHandler, &conns[c], 0);
-  }
-
-  int initial_pool = sunmt::Runtime::Get().pool_size();
-
-  // The client pump: interleaved requests across connections.
-  sunmt::SplitMix64 rng(7);
-  int sent[kConnections] = {};
-  int total_responses = 0;
-  for (int round = 0; round < kConnections * kRequestsPerConnection; ++round) {
-    int c = static_cast<int>(rng.NextBounded(kConnections));
-    while (sent[c] >= kRequestsPerConnection) {
-      c = (c + 1) % kConnections;
-    }
-    char request = static_cast<char>('a' + rng.NextBounded(26));
-    if (write(request_wr[c], &request, 1) != 1) {
-      perror("write");
-      return 1;
-    }
-    ++sent[c];
-    char response = 0;
-    if (read(response_rd[c], &response, 1) != 1) {
-      perror("read");
-      return 1;
-    }
-    if (response != request - 'a' + 'A') {
-      fprintf(stderr, "bad response\n");
-      return 1;
-    }
-    ++total_responses;
-  }
-
-  // Shut the connections down.
-  for (int c = 0; c < kConnections; ++c) {
-    char quit = 'Q';
-    (void)!write(request_wr[c], &quit, 1);
-  }
-  for (int c = 0; c < kConnections; ++c) {
-    sunmt::sema_p(&done);
-  }
-
-  int handled = 0;
-  for (const Connection& conn : conns) {
-    handled += conn.handled;
-  }
-  printf("served %d requests across %d connections\n", handled, kConnections);
-  printf("LWP pool: started at %d, grew to %d (SIGWAITING events: %llu)\n",
-         initial_pool, sunmt::Runtime::Get().pool_size(),
+  printf("LWP pool: stayed at %d (threads parked on readiness, not LWPs; "
+         "SIGWAITING events: %llu)\n",
+         sunmt::Runtime::Get().pool_size(),
          static_cast<unsigned long long>(sunmt::Runtime::Get().sigwaiting_count()));
-  return handled == total_responses ? 0 : 1;
+
+  bool ok = g_clients_ok.load() == kConnections &&
+            g_requests_served.load() == kConnections * kRequestsPerConnection &&
+            sunmt::Runtime::Get().pool_size() == kPoolLwps;
+  if (!ok) {
+    fprintf(stderr, "FAIL: clients_ok=%d served=%d pool=%d\n", g_clients_ok.load(),
+            g_requests_served.load(), sunmt::Runtime::Get().pool_size());
+  }
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the sanitizer pass on the concurrency-heavy subsystems.
+#
+#   1. Regular build + full ctest (the ROADMAP tier-1 command).
+#   2. SUNMT_SANITIZE=thread build, running the `net` and `stats` labels —
+#      the netpoller's park/wake path and the trace/stats seqlock are the two
+#      places a data race would live.
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -S "$repo" -B "$repo/build" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo
+echo "== tsan: net + stats labels =="
+cmake -S "$repo" -B "$repo/build-tsan" -DSUNMT_SANITIZE=thread >/dev/null
+cmake --build "$repo/build-tsan" -j "$jobs"
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats"
+
+echo
+echo "check.sh: all green"

@@ -46,6 +46,20 @@
 #include <ucontext.h>
 #endif
 
+// Under TSan every activation must be announced as a "fiber", or the runtime's
+// shadow stack desyncs across user-level switches (sporadic SEGVs and false
+// races). Each Context carries the fiber of the activation suspended in it.
+#if defined(__SANITIZE_THREAD__)
+#define SUNMT_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SUNMT_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(SUNMT_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace sunmt {
 
 class Context {
@@ -68,7 +82,36 @@ class Context {
 
   static constexpr size_t kMinStackSize = 4096;
 
+#if defined(SUNMT_TSAN_FIBERS)
+  ~Context() {
+    if (tsan_owned_ && tsan_fiber_ != nullptr) {
+      __tsan_destroy_fiber(tsan_fiber_);
+    }
+  }
+#endif
+
  private:
+#if defined(SUNMT_TSAN_FIBERS)
+  // Make() creates a fiber for the new activation (owned); a pthread-root
+  // activation's fiber is captured from TSan on first suspend (not owned).
+  void TsanOnMake() {
+    if (tsan_owned_ && tsan_fiber_ != nullptr) {
+      __tsan_destroy_fiber(tsan_fiber_);  // slot reused for a fresh activation
+    }
+    tsan_fiber_ = __tsan_create_fiber(0);
+    tsan_owned_ = true;
+  }
+  void TsanOnSwitch(Context& target) {
+    tsan_fiber_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(target.tsan_fiber_, 0);
+  }
+  void* tsan_fiber_ = nullptr;
+  bool tsan_owned_ = false;
+#else
+  void TsanOnMake() {}
+  void TsanOnSwitch(Context&) {}
+#endif
+
 #if defined(SUNMT_CONTEXT_ASM)
   void* sp_ = nullptr;  // saved stack pointer; the register frame lives on the stack
 #else

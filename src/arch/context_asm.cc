@@ -66,10 +66,12 @@ void Context::Make(void* stack_base, size_t size, EntryFn entry) {
   memcpy(frame + kSlotPc, &tramp_ptr, sizeof(tramp_ptr));
 
   sp_ = reinterpret_cast<void*>(sp);
+  TsanOnMake();
 }
 
 void* Context::SwitchTo(Context& target, void* data) {
   SUNMT_DCHECK(target.sp_ != nullptr);
+  TsanOnSwitch(target);
   return sunmt_ctx_jump(&sp_, target.sp_, data);
 }
 

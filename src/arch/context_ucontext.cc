@@ -37,10 +37,12 @@ void Context::Make(void* stack_base, size_t size, EntryFn entry) {
   auto self = reinterpret_cast<uintptr_t>(this);
   makecontext(&uc_, reinterpret_cast<void (*)()>(&Context::Trampoline), 2,
               static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xffffffffu));
+  TsanOnMake();
 }
 
 void* Context::SwitchTo(Context& target, void* data) {
   target.transfer_ = data;
+  TsanOnSwitch(target);
   SUNMT_CHECK(swapcontext(&uc_, &target.uc_) == 0);
   return transfer_;
 }

@@ -33,6 +33,8 @@ struct SchedStats {
   ShardedCounter threads_created;
   ShardedCounter threads_exited;
   ShardedCounter adoptions;        // foreign kernel threads adopted
+  ShardedCounter net_parks;        // threads parked on fd readiness (src/net)
+  ShardedCounter net_wakes;        // readiness/cancel wakes of parked threads
 };
 
 SchedStats& GlobalSchedStats();

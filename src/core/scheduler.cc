@@ -36,6 +36,8 @@ struct SwitchCommit {
 
 std::atomic<SignalDeliveryHook> g_signal_hook{nullptr};
 std::atomic<ThreadExitHook> g_exit_hook{nullptr};
+std::atomic<IdlePollHook> g_idle_poll_hook{nullptr};
+std::atomic<int64_t> g_idle_repoll_ns{kDefaultIdleRepollNs};
 
 // Switches from the current thread to its LWP's dispatch context, delivering the
 // commit. Returns when the thread is next dispatched.
@@ -225,6 +227,24 @@ void Block(SpinLock* queue_lock) {
   SafePoint();
 }
 
+void ParkOnFd(SpinLock* queue_lock, int fd, uint8_t events) {
+  Tcb* self = CurrentTcb();
+  SUNMT_CHECK(self != nullptr);
+  self->park_fd = fd;
+  self->park_events = events;
+  self->park_result = 0;
+  GlobalSchedStats().net_parks.Inc();
+  Trace::Record(TraceEvent::kNetPark, self->id, static_cast<uint64_t>(fd));
+  Block(queue_lock);
+  self->park_fd = -1;
+  self->park_events = 0;
+}
+
+void WakeFdWaiter(Tcb* tcb) {
+  GlobalSchedStats().net_wakes.Inc();
+  Wake(tcb);
+}
+
 void StopSelf() {
   Tcb* self = CurrentTcb();
   SUNMT_CHECK(self != nullptr);
@@ -234,6 +254,11 @@ void StopSelf() {
 
 void SetThreadExitHook(ThreadExitHook hook) {
   g_exit_hook.store(hook, std::memory_order_release);
+}
+
+void SetIdlePollHook(IdlePollHook hook, int64_t repoll_ns) {
+  g_idle_repoll_ns.store(repoll_ns, std::memory_order_relaxed);
+  g_idle_poll_hook.store(hook, std::memory_order_release);
 }
 
 void ExitCurrent() {
@@ -336,7 +361,22 @@ void PoolLwpMain(Lwp* self, void* arg) {
       rt->ExitIdle(self);
       continue;
     }
-    self->Park();
+    // Give the netpoller's inline fallback a chance before parking: while
+    // threads are parked on fd readiness with no dedicated poller, an idle
+    // LWP is the natural place to run epoll. A hook result > 0 means threads
+    // were woken (go fetch them); 0 means keep polling on a shallow-park
+    // cadence; -1 means no polling is needed and a deep park is safe.
+    IdlePollHook poll_hook = g_idle_poll_hook.load(std::memory_order_acquire);
+    int polled = poll_hook != nullptr ? poll_hook() : -1;
+    if (polled > 0) {
+      rt->ExitIdle(self);
+      continue;
+    }
+    if (polled == 0) {
+      self->ParkFor(g_idle_repoll_ns.load(std::memory_order_relaxed));
+    } else {
+      self->Park();
+    }
     rt->ExitIdle(self);
   }
   rt->RetireLwp(self, /*was_pool=*/true);

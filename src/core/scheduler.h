@@ -47,6 +47,16 @@ void Yield();
 // commit after the context save. Returns when another thread calls Wake().
 void Block(SpinLock* queue_lock);
 
+// Block(), tagged as a park on fd readiness (the netpoller wait state): records
+// which fd and direction(s) the thread is waiting on in the TCB (visible to
+// introspection while parked), counts it, and emits a net-park trace event.
+// Same queue-lock protocol as Block().
+void ParkOnFd(SpinLock* queue_lock, int fd, uint8_t events);
+
+// Wake() for a thread parked via ParkOnFd: counts the wake and emits a net-wake
+// trace event. The caller has already dequeued the TCB and set its wake reason.
+void WakeFdWaiter(Tcb* tcb);
+
 // Terminates the current thread; never returns.
 [[noreturn]] void ExitCurrent();
 
@@ -94,6 +104,14 @@ void SetSignalDeliveryHook(SignalDeliveryHook hook);
 // leaves its LWP, so thread-specific-data destructors can run user code.
 using ThreadExitHook = void (*)(Tcb* self);
 void SetThreadExitHook(ThreadExitHook hook);
+
+// Installed by src/net: called from a pool LWP's idle path before parking.
+// Returns >0 if the poll woke threads (the LWP should go back for work), 0 if
+// polling is active but produced nothing (the LWP should shallow-park for
+// `repoll_ns` and poll again), or -1 if polling is not needed (deep park).
+using IdlePollHook = int (*)();
+inline constexpr int64_t kDefaultIdleRepollNs = 1 * 1000 * 1000;
+void SetIdlePollHook(IdlePollHook hook, int64_t repoll_ns = kDefaultIdleRepollNs);
 
 }  // namespace sched
 }  // namespace sunmt

@@ -91,6 +91,15 @@ struct Tcb {
   uint64_t block_generation = 0;
   bool timed_out = false;
 
+  // ---- Netpoller park state (see src/net) ----------------------------------
+  // While parked on fd readiness: the fd and direction mask (NET_READABLE /
+  // NET_WRITABLE) being waited for, for introspection. park_result carries the
+  // wake reason (0 = readiness; nonzero = cancelled by poller stop/unregister),
+  // written by the waker under the fd entry's lock before the wake.
+  int park_fd = -1;
+  uint8_t park_events = 0;
+  uint8_t park_result = 0;
+
   // SYNC_DEBUG mutexes record what this thread is blocked on, enabling the
   // wait-for-graph deadlock detector (advisory reads; see src/sync/mutex.cc).
   std::atomic<void*> waiting_for_mutex{nullptr};

@@ -14,10 +14,16 @@ namespace {
 
 // Each slot carries a sequence number (seqlock-style): even = stable, odd =
 // being written. Writers claim slots with a global ticket; readers skip slots
-// whose sequence moved while copying.
+// whose sequence moved while copying. The payload fields are relaxed atomics
+// bracketed by fences (the data-race-free seqlock recipe): racing accesses are
+// intentional — the seq check discards torn reads — but must not be UB, and
+// must be invisible to TSan.
 struct Slot {
   std::atomic<uint64_t> seq{0};
-  TraceRecord record;
+  std::atomic<int64_t> time_ns{0};
+  std::atomic<uint64_t> thread_id{0};
+  std::atomic<uint64_t> arg{0};
+  std::atomic<uint8_t> event{0};
 };
 
 // One ring generation. `mask` and `slots` are immutable after construction so
@@ -90,12 +96,13 @@ void Trace::Record(TraceEvent event, uint64_t thread_id, uint64_t arg) {
   Slot& slot = ring->slots[ticket & ring->mask];
   // Lap number encodes stability: seq is 2*lap+1 while writing, 2*(lap+1) after.
   uint64_t lap = ticket / (ring->mask + 1);
-  slot.seq.store(2 * lap + 1, std::memory_order_release);
-  slot.record.time_ns = MonotonicNowNs();
-  slot.record.thread_id = thread_id;
-  slot.record.arg = arg;
-  slot.record.event = event;
-  slot.seq.store(2 * (lap + 1), std::memory_order_release);
+  slot.seq.store(2 * lap + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);  // seq=odd before data
+  slot.time_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+  slot.thread_id.store(thread_id, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.event.store(static_cast<uint8_t>(event), std::memory_order_relaxed);
+  slot.seq.store(2 * (lap + 1), std::memory_order_release);  // data before seq=even
 }
 
 size_t Trace::Collect(std::vector<TraceRecord>* out) {
@@ -114,8 +121,13 @@ size_t Trace::Collect(std::vector<TraceRecord>* out) {
     if (seq_before != 2 * (lap + 1)) {
       continue;  // overwritten by a later lap, reset, or still being written
     }
-    TraceRecord copy = slot.record;
-    if (slot.seq.load(std::memory_order_acquire) != seq_before) {
+    TraceRecord copy;
+    copy.time_ns = slot.time_ns.load(std::memory_order_relaxed);
+    copy.thread_id = slot.thread_id.load(std::memory_order_relaxed);
+    copy.arg = slot.arg.load(std::memory_order_relaxed);
+    copy.event = static_cast<TraceEvent>(slot.event.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);  // data before re-check
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) {
       continue;  // torn: a writer raced in while we copied
     }
     out->push_back(copy);
@@ -274,12 +286,22 @@ std::string Trace::ExportChromeJson() {
       case TraceEvent::kWake:
       case TraceEvent::kContinue:
       case TraceEvent::kSignal:
+      case TraceEvent::kNetPark:
         AppendEvent(&events,
                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":2,\"tid\":%" PRIu64
                     ",\"name\":\"%s\",\"ts\":%.3f,\"args\":{\"arg\":%" PRIu64
                     "}}",
                     r.thread_id, TraceEventName(r.event), ts, r.arg);
         break;
+      case TraceEvent::kNetWake: {
+        // arg is the readiness wait in ns; render like the sync waits.
+        double dur = static_cast<double>(r.arg) / 1e3;
+        AppendEvent(&events,
+                    "{\"ph\":\"X\",\"pid\":2,\"tid\":%" PRIu64
+                    ",\"name\":\"NET_WAIT\",\"ts\":%.3f,\"dur\":%.3f}",
+                    r.thread_id, ts - dur, dur);
+        break;
+      }
     }
   }
 
@@ -342,6 +364,10 @@ const char* TraceEventName(TraceEvent event) {
       return "CV_WAIT";
     case TraceEvent::kKernelWait:
       return "KERNEL_WAIT";
+    case TraceEvent::kNetPark:
+      return "NET_PARK";
+    case TraceEvent::kNetWake:
+      return "NET_WAKE";
   }
   return "?";
 }

@@ -41,6 +41,8 @@ enum class TraceEvent : uint8_t {
   kSemaWait,      // sema_p block finished              arg = wait ns
   kCvWait,        // cv_wait block finished             arg = wait ns
   kKernelWait,    // LWP returned from a kernel wait    subject = LWP id, arg = wait ns
+  kNetPark,       // thread parked on fd readiness      arg = fd
+  kNetWake,       // readiness wake delivered           arg = wait ns
 };
 
 struct TraceRecord {

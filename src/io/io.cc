@@ -5,6 +5,8 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <atomic>
+
 #include "src/lwp/kernel_wait.h"
 #include "src/tls/thread_local.h"
 
@@ -15,25 +17,47 @@ namespace {
 // before the TLS layout freezes — the paper's `#pragma unshared errno`.
 ThreadLocal<int> tls_errno;
 
-// Saves the host errno into the thread's private copy after a failed call.
+// Saves the host errno into the thread's private copy after a failed call,
+// and clears it after a successful one so a caller can never misread a
+// previous failure's value as this call's.
 template <typename T>
 T SaveErrno(T result) {
-  if (result < 0) {
-    tls_errno.Get() = errno;
-  }
+  tls_errno.Get() = result < 0 ? errno : 0;
   return result;
+}
+
+std::atomic<const IoNetRouter*> g_net_router{nullptr};
+
+// The netpoller's claim on this fd, if any. Routed calls park the thread on
+// readiness instead of blocking the LWP, and set thread_errno themselves.
+const IoNetRouter* RouterFor(int fd) {
+  const IoNetRouter* router = g_net_router.load(std::memory_order_acquire);
+  if (router != nullptr && router->is_managed(fd)) {
+    return router;
+  }
+  return nullptr;
 }
 
 }  // namespace
 
 int& thread_errno() { return tls_errno.Get(); }
 
+void io_set_net_router(const IoNetRouter* router) {
+  g_net_router.store(router, std::memory_order_release);
+}
+
 ssize_t io_read(int fd, void* buf, size_t count) {
+  if (const IoNetRouter* router = RouterFor(fd)) {
+    return router->read(fd, buf, count);
+  }
   KernelWaitScope wait(/*indefinite=*/true);
   return SaveErrno(read(fd, buf, count));
 }
 
 ssize_t io_write(int fd, const void* buf, size_t count) {
+  if (const IoNetRouter* router = RouterFor(fd)) {
+    return router->write(fd, buf, count);
+  }
   KernelWaitScope wait(/*indefinite=*/true);
   return SaveErrno(write(fd, buf, count));
 }
@@ -53,10 +77,15 @@ int io_poll(struct pollfd* fds, unsigned long nfds, int timeout_ms) {
   return SaveErrno(poll(fds, nfds, timeout_ms));
 }
 
-int io_accept(int sockfd) {
+int io_accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen) {
+  if (const IoNetRouter* router = RouterFor(sockfd)) {
+    return router->accept(sockfd, addr, addrlen);
+  }
   KernelWaitScope wait(/*indefinite=*/true);
-  return SaveErrno(accept(sockfd, nullptr, nullptr));
+  return SaveErrno(accept(sockfd, addr, addrlen));
 }
+
+int io_accept(int sockfd) { return io_accept(sockfd, nullptr, nullptr); }
 
 void io_sleep_ns(int64_t ns) {
   KernelWaitScope wait(/*indefinite=*/true);

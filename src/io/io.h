@@ -20,6 +20,7 @@
 #define SUNMT_SRC_IO_IO_H_
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 
 #include <cstddef>
@@ -38,7 +39,11 @@ ssize_t io_pwrite(int fd, const void* buf, size_t count, off_t offset);
 // poll(2): the canonical indefinite wait.
 int io_poll(struct pollfd* fds, unsigned long nfds, int timeout_ms);
 
-// accept(2) on a listening socket: indefinite.
+// accept(2) on a listening socket: indefinite. The three-argument form fills
+// in the peer address (addr/addrlen may be null to discard it, which is all
+// the one-argument form does) — without it every caller that wants the peer
+// pays a second getpeername(2) call.
+int io_accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen);
 int io_accept(int sockfd);
 
 // Sleeping: indefinite by definition.
@@ -53,6 +58,20 @@ inline void io_sleep_ms(int64_t ms) { io_sleep_ns(ms * 1000 * 1000); }
 // other threads." Every io_* wrapper stores the failing call's errno here; the
 // reference is to the calling thread's private copy.
 int& thread_errno();
+
+// ---- Netpoller routing (installed by src/net) -------------------------------
+// When a router is installed and claims an fd, io_read/io_write/io_accept on
+// that fd go through the netpoller's park-on-readiness path instead of
+// blocking the LWP in the kernel — blocking-style call sites get event-driven
+// economics without being rewritten. Routed calls maintain thread_errno()
+// themselves.
+struct IoNetRouter {
+  bool (*is_managed)(int fd);
+  ssize_t (*read)(int fd, void* buf, size_t count);
+  ssize_t (*write)(int fd, const void* buf, size_t count);
+  int (*accept)(int sockfd, struct sockaddr* addr, socklen_t* addrlen);
+};
+void io_set_net_router(const IoNetRouter* router);
 
 }  // namespace sunmt
 

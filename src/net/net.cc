@@ -1,0 +1,226 @@
+// Public netpoller API: nonblocking syscall + park-on-EAGAIN retry loops over
+// NetPoller::WaitReady. Every wrapper reports errors through thread_errno()
+// like the src/io family, and additionally clears it to 0 on success.
+
+#include "src/net/net.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "src/io/io.h"
+#include "src/net/poller.h"
+#include "src/util/clock.h"
+
+namespace sunmt {
+namespace {
+
+// Success/failure funnel shared by all wrappers.
+template <typename T>
+T NetResult(T result, int err) {
+  thread_errno() = err;
+  if (err != 0) {
+    return static_cast<T>(-1);
+  }
+  return result;
+}
+
+bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+// Routes io_read/io_write/io_accept on registered fds through the parking
+// path, so blocking-style call sites inherit the poller's LWP economics.
+// Installed lazily at first registration (before that no fd is managed).
+void EnsureIoRouter() {
+  static const IoNetRouter kRouter = {
+      &net_is_registered,
+      &net_read,
+      &net_write,
+      static_cast<int (*)(int, struct sockaddr*, socklen_t*)>(&net_accept),
+  };
+  static std::atomic<bool> installed{false};
+  if (!installed.exchange(true, std::memory_order_acq_rel)) {
+    io_set_net_router(&kRouter);
+  }
+}
+
+// Remaining budget for multi-park operations: each EAGAIN re-park (e.g. after
+// a concurrent consumer stole the readiness) must not restart the clock.
+// Forever (<0) and nonblocking-try (0) pass through. Returns ETIME-as-expired
+// via a 0 result once the deadline has been consumed.
+struct Deadline {
+  explicit Deadline(int64_t timeout_ns)
+      : timeout_ns_(timeout_ns),
+        start_ns_(timeout_ns > 0 ? MonotonicNowNs() : 0) {}
+
+  int64_t Remaining() const {
+    if (timeout_ns_ <= 0) {
+      return timeout_ns_;
+    }
+    int64_t left = timeout_ns_ - (MonotonicNowNs() - start_ns_);
+    // A fully consumed deadline must not turn into "wait forever" or a
+    // nonblocking try that reports EAGAIN; 1ns parks and times out as ETIME.
+    return left > 0 ? left : 1;
+  }
+
+  int64_t timeout_ns_;
+  int64_t start_ns_;
+};
+
+}  // namespace
+
+// ---- Lifecycle / registration ----------------------------------------------
+
+int net_poller_start() {
+  int rc = NetPoller::Get().StartDedicated();
+  return NetResult(rc, rc == 0 ? 0 : errno);
+}
+
+int net_poller_stop() {
+  if (!NetPoller::Exists()) {
+    return 0;
+  }
+  int rc = NetPoller::Get().Stop();
+  return NetResult(rc, rc == 0 ? 0 : errno);
+}
+
+bool net_poller_running() {
+  return NetPoller::Exists() && NetPoller::Get().Running();
+}
+
+int net_register(int fd) {
+  EnsureIoRouter();
+  int rc = NetPoller::Get().Register(fd);
+  return NetResult(rc, rc == 0 ? 0 : errno);
+}
+
+int net_unregister(int fd) {
+  if (!NetPoller::Exists()) {
+    return NetResult(-1, EBADF);
+  }
+  int rc = NetPoller::Get().Unregister(fd);
+  return NetResult(rc, rc == 0 ? 0 : errno);
+}
+
+bool net_is_registered(int fd) {
+  return NetPoller::Exists() && NetPoller::Get().IsRegistered(fd);
+}
+
+int net_parked_count() {
+  return NetPoller::Exists() ? NetPoller::Get().ParkedCount() : 0;
+}
+
+int net_wait_ready(int fd, uint32_t events, int64_t timeout_ns) {
+  if (!NetPoller::Exists()) {
+    return EBADF;
+  }
+  return NetPoller::Get().WaitReady(fd, events, timeout_ns);
+}
+
+// ---- Parking I/O ------------------------------------------------------------
+
+ssize_t net_read_deadline(int fd, void* buf, size_t count, int64_t timeout_ns) {
+  NetPoller& poller = NetPoller::Get();
+  Deadline deadline(timeout_ns);
+  for (;;) {
+    ssize_t n = read(fd, buf, count);
+    if (n >= 0) {
+      return NetResult(n, 0);
+    }
+    if (!WouldBlock(errno)) {
+      return NetResult<ssize_t>(-1, errno);
+    }
+    int rc = poller.WaitReady(fd, NET_READABLE, deadline.Remaining());
+    if (rc == ETIME && timeout_ns == 0) {
+      rc = EAGAIN;  // a nonblocking try reports like the raw syscall
+    }
+    if (rc != 0) {
+      return NetResult<ssize_t>(-1, rc);
+    }
+  }
+}
+
+ssize_t net_read(int fd, void* buf, size_t count) {
+  return net_read_deadline(fd, buf, count, /*timeout_ns=*/-1);
+}
+
+ssize_t net_write_deadline(int fd, const void* buf, size_t count,
+                           int64_t timeout_ns) {
+  NetPoller& poller = NetPoller::Get();
+  Deadline deadline(timeout_ns);
+  for (;;) {
+    ssize_t n = write(fd, buf, count);
+    if (n >= 0) {
+      return NetResult(n, 0);
+    }
+    if (!WouldBlock(errno)) {
+      return NetResult<ssize_t>(-1, errno);
+    }
+    int rc = poller.WaitReady(fd, NET_WRITABLE, deadline.Remaining());
+    if (rc == ETIME && timeout_ns == 0) {
+      rc = EAGAIN;
+    }
+    if (rc != 0) {
+      return NetResult<ssize_t>(-1, rc);
+    }
+  }
+}
+
+ssize_t net_write(int fd, const void* buf, size_t count) {
+  return net_write_deadline(fd, buf, count, /*timeout_ns=*/-1);
+}
+
+int net_accept_deadline(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+                        int64_t timeout_ns) {
+  NetPoller& poller = NetPoller::Get();
+  Deadline deadline(timeout_ns);
+  for (;;) {
+    int fd = accept(sockfd, addr, addrlen);
+    if (fd >= 0) {
+      return NetResult(fd, 0);
+    }
+    if (!WouldBlock(errno)) {
+      return NetResult(-1, errno);
+    }
+    int rc = poller.WaitReady(sockfd, NET_READABLE, deadline.Remaining());
+    if (rc == ETIME && timeout_ns == 0) {
+      rc = EAGAIN;
+    }
+    if (rc != 0) {
+      return NetResult(-1, rc);
+    }
+  }
+}
+
+int net_accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen) {
+  return net_accept_deadline(sockfd, addr, addrlen, /*timeout_ns=*/-1);
+}
+
+int net_connect_deadline(int sockfd, const struct sockaddr* addr,
+                         socklen_t addrlen, int64_t timeout_ns) {
+  if (connect(sockfd, addr, addrlen) == 0) {
+    return NetResult(0, 0);
+  }
+  if (errno == EINTR || errno == EINPROGRESS) {
+    // Nonblocking connect in flight: writability signals completion, and the
+    // verdict is read out of SO_ERROR (connect(2), EINPROGRESS).
+    int rc = NetPoller::Get().WaitReady(sockfd, NET_WRITABLE, timeout_ns);
+    if (rc != 0) {
+      return NetResult(-1, rc);
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(sockfd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return NetResult(-1, errno);
+    }
+    return NetResult(so_error == 0 ? 0 : -1, so_error);
+  }
+  return NetResult(-1, errno);
+}
+
+int net_connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen) {
+  return net_connect_deadline(sockfd, addr, addrlen, /*timeout_ns=*/-1);
+}
+
+}  // namespace sunmt

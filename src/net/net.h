@@ -1,0 +1,109 @@
+// Netpoller: event-driven socket/pipe I/O that parks threads, not LWPs.
+//
+// The kernel-call rule ("the thread needing the system service remains bound to
+// the LWP executing it until the system call is completed") makes every blocked
+// io_read pin an LWP in the kernel; a server with N mostly-idle connections
+// then needs ~N LWPs, with SIGWAITING growing the pool one watchdog period at a
+// time. This module is the M:N architecture's answer: file descriptors are made
+// nonblocking, a single epoll(7) instance watches all of them, and a thread
+// that would have blocked in the kernel instead parks in the user-level
+// scheduler until the poller reports readiness. The LWP pool stays at the
+// configured concurrency no matter how many connections are idle.
+//
+// Modes:
+//  * Dedicated (net_poller_start()): a bound thread — owning its own LWP, so
+//    pool LWPs are never consumed — blocks in epoll_wait and wakes parked
+//    threads as events arrive. This is the serving configuration.
+//  * Inline fallback (no start call): registering an fd arms the scheduler's
+//    idle path and a periodic timer tick to poll with a zero timeout, so the
+//    API still works (with ~ms wake latency) before the poller is configured.
+//
+// Registered fds are also honored by the src/io wrappers (io_read/io_write/
+// io_accept route to the parking path), so blocking-style code gets the
+// economics without changing call sites. Unregistered fds keep the old
+// LWP-blocking behavior.
+//
+// Errors land in thread_errno() (the paper's per-thread errno), including
+// ETIME for expired deadlines and ECANCELED when the poller shuts down under a
+// parked thread.
+
+#ifndef SUNMT_SRC_NET_NET_H_
+#define SUNMT_SRC_NET_NET_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstdint>
+
+namespace sunmt {
+
+// Starts the dedicated poller: a THREAD_BIND_LWP thread blocking in epoll_wait.
+// Idempotent; returns 0, or -1 (thread_errno set) if the epoll instance cannot
+// be created. Safe to call before or after net_register.
+int net_poller_start();
+
+// Stops the poller and wakes every parked thread with ECANCELED. In-flight
+// net_* calls return -1; fds stay registered and nonblocking, and a later
+// net_poller_start() (or the inline fallback) resumes service. Returns 0.
+int net_poller_stop();
+
+// True if readiness events are being delivered (dedicated or inline mode).
+bool net_poller_running();
+
+// Registers `fd` with the poller: makes it nonblocking (O_NONBLOCK is a
+// property of the open file description) and adds it to the epoll set.
+// Regular files are not pollable — epoll refuses them (EPERM). Returns 0, or
+// -1 with thread_errno set.
+int net_register(int fd);
+
+// Removes `fd` from the poller and wakes its parked waiters (their retried
+// operation sees whatever the fd returns — typically EAGAIN surfaced as
+// thread_errno). Call before close(2); the fd remains nonblocking. Returns 0,
+// or -1 if the fd was not registered.
+int net_unregister(int fd);
+
+// True if `fd` is currently registered.
+bool net_is_registered(int fd);
+
+// Number of threads currently parked on fd readiness (tests/introspection).
+int net_parked_count();
+
+// ---- Parking I/O on registered fds -----------------------------------------
+// Each call retries the nonblocking syscall and parks the calling thread on
+// EAGAIN until the poller reports readiness. Results and errno semantics match
+// the plain syscalls; deadline variants return -1 with thread_errno() == ETIME
+// if `timeout_ns` elapses first (timeout_ns < 0 waits forever; 0 is a pure
+// nonblocking try).
+
+ssize_t net_read(int fd, void* buf, size_t count);
+ssize_t net_write(int fd, const void* buf, size_t count);
+ssize_t net_read_deadline(int fd, void* buf, size_t count, int64_t timeout_ns);
+ssize_t net_write_deadline(int fd, const void* buf, size_t count, int64_t timeout_ns);
+
+// accept(2) on a registered listening socket. The accepted fd is returned
+// blocking-mode untouched and unregistered; register it to serve it through
+// the poller. addr/addrlen may be null (the peer address is discarded).
+int net_accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen);
+inline int net_accept(int sockfd) { return net_accept(sockfd, nullptr, nullptr); }
+int net_accept_deadline(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+                        int64_t timeout_ns);
+
+// connect(2) on a registered socket: initiates the nonblocking connect, parks
+// until the socket is writable, and reports the final SO_ERROR. Returns 0, or
+// -1 with thread_errno set (ETIME on the deadline variant).
+int net_connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen);
+int net_connect_deadline(int sockfd, const struct sockaddr* addr, socklen_t addrlen,
+                         int64_t timeout_ns);
+
+// Parks the calling thread until `fd` is readable (events=NET_READABLE) or
+// writable (NET_WRITABLE). Building block for protocols the wrappers above do
+// not cover. Returns 0 on readiness, or ETIME / ECANCELED / EBADF.
+enum : uint32_t {
+  NET_READABLE = 1u << 0,
+  NET_WRITABLE = 1u << 1,
+};
+int net_wait_ready(int fd, uint32_t events, int64_t timeout_ns);
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_NET_NET_H_

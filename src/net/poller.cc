@@ -1,0 +1,514 @@
+#include "src/net/poller.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <new>
+
+#include "src/core/runtime.h"
+#include "src/core/scheduler.h"
+#include "src/core/trace.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/net/net.h"
+#include "src/stats/stats.h"
+#include "src/sync/waitq.h"
+#include "src/timer/timer.h"
+#include "src/util/check.h"
+#include "src/util/clock.h"
+
+namespace sunmt {
+namespace {
+
+// Period of the fallback polls (scheduler idle path and timer tick) when no
+// dedicated LWP is configured: the worst-case wake latency of inline mode.
+constexpr int64_t kInlinePollPeriodNs = 1 * 1000 * 1000;
+
+// epoll_wait batch size for one drain.
+constexpr int kEventBatch = 128;
+
+std::atomic<NetPoller*> g_poller{nullptr};
+SpinLock g_poller_create_lock;
+
+// Mode is process-global so the fork handler and Exists() can consult it
+// without touching a half-built singleton.
+enum class Mode : uint8_t {
+  kInline,     // no dedicated LWP: idle LWPs + a timer tick poll with timeout 0
+  kDedicated,  // bound poller thread blocks in epoll_wait
+  kStopped,    // net_poller_stop(): parked waiters fail with ECANCELED
+};
+std::atomic<Mode> g_mode{Mode::kInline};
+
+// Wake reasons delivered through Tcb::park_result.
+enum : uint8_t {
+  kWakeReady = 0,
+  kWakeCancelled = 1,
+};
+
+// Deadline support, same shape as cv_timedwait: whichever of readiness and the
+// timer dequeues the waiter first wins; Tcb::block_generation invalidates
+// stale timers.
+struct NetTimeoutCtx {
+  NetPoller::FdEntry* entry;
+  Tcb* tcb;
+  bool writer;
+};
+
+// fork1() child repair: the poller thread (and every parked waiter) does not
+// exist in the child; abandon the parent's poller so the child lazily builds a
+// fresh one. The inherited epoll fd leaks, which is the safe direction.
+void NetForkChildRepair() {
+  g_poller.store(nullptr, std::memory_order_release);
+  g_mode.store(Mode::kInline, std::memory_order_release);
+  new (&g_poller_create_lock) SpinLock();
+}
+
+void EnsureForkHandler() {
+  static std::atomic<bool> once{false};
+  if (!once.exchange(true, std::memory_order_acq_rel)) {
+    Runtime::RegisterForkChildHandler(&NetForkChildRepair);
+  }
+}
+
+}  // namespace
+
+NetPoller& NetPoller::Get() {
+  NetPoller* poller = g_poller.load(std::memory_order_acquire);
+  if (poller != nullptr) {
+    return *poller;
+  }
+  SpinLockGuard guard(g_poller_create_lock);
+  poller = g_poller.load(std::memory_order_acquire);
+  if (poller == nullptr) {
+    poller = new NetPoller();  // leaked: parked threads reference it forever
+    g_poller.store(poller, std::memory_order_release);
+  }
+  return *poller;
+}
+
+bool NetPoller::Exists() {
+  return g_poller.load(std::memory_order_acquire) != nullptr;
+}
+
+NetPoller::NetPoller() {
+  EnsureForkHandler();
+  table_ = new std::atomic<FdEntry*>[kMaxFds]();
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  SUNMT_CHECK(epfd_ >= 0);
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  SUNMT_CHECK(wakeup_fd_ >= 0);
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  SUNMT_CHECK(epoll_ctl(epfd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) == 0);
+  sched::SetIdlePollHook(&NetPoller::IdlePollHook, kInlinePollPeriodNs);
+}
+
+NetPoller::FdEntry* NetPoller::GetEntry(int fd) const {
+  if (fd < 0 || fd >= kMaxFds) {
+    return nullptr;
+  }
+  return table_[fd].load(std::memory_order_acquire);
+}
+
+NetPoller::FdEntry* NetPoller::GetOrCreateEntry(int fd) {
+  FdEntry* entry = table_[fd].load(std::memory_order_acquire);
+  if (entry != nullptr) {
+    return entry;
+  }
+  auto* fresh = new FdEntry();
+  FdEntry* expected = nullptr;
+  if (table_[fd].compare_exchange_strong(expected, fresh,
+                                         std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return expected;
+}
+
+// ---- Registration -----------------------------------------------------------
+
+int NetPoller::Register(int fd) {
+  if (fd < 0 || fd >= kMaxFds) {
+    errno = EBADF;
+    return -1;
+  }
+  int flags = fcntl(fd, F_GETFL);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return -1;
+  }
+  FdEntry* entry = GetOrCreateEntry(fd);
+  SpinLockGuard guard(entry->lock);
+  if (entry->registered) {
+    return 0;  // idempotent
+  }
+  struct epoll_event ev = {};
+  // Edge-triggered on both directions for the fd's lifetime: re-arming per
+  // wait would cost an epoll_ctl system call per park. The sticky `ready`
+  // bits plus consumer retry loops absorb the edge semantics.
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return -1;  // e.g. EPERM: regular files are not pollable
+  }
+  entry->registered = true;
+  // A just-registered fd may already be readable/writable; with EPOLLET that
+  // edge may never fire again, so start pessimistically ready and let the
+  // first EAGAIN clear the bits.
+  entry->ready = NET_READABLE | NET_WRITABLE;
+  registered_count_.fetch_add(1, std::memory_order_relaxed);
+  if (fd >= fd_highwater_.load(std::memory_order_relaxed)) {
+    fd_highwater_.store(fd + 1, std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+int NetPoller::Unregister(int fd) {
+  FdEntry* entry = GetEntry(fd);
+  if (entry == nullptr) {
+    errno = EBADF;
+    return -1;
+  }
+  Tcb* wake_head = nullptr;
+  Tcb* wake_tail = nullptr;
+  {
+    SpinLockGuard guard(entry->lock);
+    if (!entry->registered) {
+      errno = EBADF;
+      return -1;
+    }
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    entry->registered = false;
+    entry->ready = 0;
+    registered_count_.fetch_sub(1, std::memory_order_relaxed);
+    CancelWaitersLocked(entry, &wake_head, &wake_tail);
+  }
+  WakeChain(wake_head);
+  return 0;
+}
+
+bool NetPoller::IsRegistered(int fd) const {
+  FdEntry* entry = GetEntry(fd);
+  if (entry == nullptr) {
+    return false;
+  }
+  SpinLockGuard guard(entry->lock);
+  return entry->registered;
+}
+
+// ---- Waiter bookkeeping -----------------------------------------------------
+
+// Pops every waiter from `q` onto the wake chain. Entry lock held.
+void NetPoller::DrainQueueLocked(WaitQueue* q, Tcb** wake_head, Tcb** wake_tail,
+                                 uint8_t result) {
+  while (q->head != nullptr) {
+    Tcb* tcb = WaitqPop(&q->head, &q->tail);
+    tcb->park_result = result;
+    WaitqPush(wake_head, wake_tail, tcb);
+  }
+}
+
+void NetPoller::CancelWaitersLocked(FdEntry* entry, Tcb** wake_head,
+                                    Tcb** wake_tail) {
+  DrainQueueLocked(&entry->readers, wake_head, wake_tail, kWakeCancelled);
+  DrainQueueLocked(&entry->writers, wake_head, wake_tail, kWakeCancelled);
+}
+
+// Wakes a chain built by DrainQueueLocked, outside any entry lock. Must
+// capture wait_next before Wake: a woken thread may immediately re-park and
+// reuse the link.
+void NetPoller::WakeChain(Tcb* head) {
+  while (head != nullptr) {
+    Tcb* next = head->wait_next;
+    head->wait_next = nullptr;
+    sched::WakeFdWaiter(head);
+    head = next;
+  }
+}
+
+// ---- Event dispatch ---------------------------------------------------------
+
+void NetPoller::DispatchEvent(int fd, uint32_t epoll_events, Tcb** wake_head,
+                              Tcb** wake_tail) {
+  FdEntry* entry = GetEntry(fd);
+  if (entry == nullptr) {
+    return;
+  }
+  uint32_t ready = 0;
+  // Errors and hangups make both directions "ready": the retried syscall is
+  // what reports the actual condition (EOF, ECONNRESET, EPIPE, ...).
+  if ((epoll_events & (EPOLLIN | EPOLLPRI | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+    ready |= NET_READABLE;
+  }
+  if ((epoll_events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) != 0) {
+    ready |= NET_WRITABLE;
+  }
+  if (ready == 0) {
+    return;
+  }
+  SpinLockGuard guard(entry->lock);
+  entry->ready |= ready;
+  if ((ready & NET_READABLE) != 0) {
+    DrainQueueLocked(&entry->readers, wake_head, wake_tail, kWakeReady);
+  }
+  if ((ready & NET_WRITABLE) != 0) {
+    DrainQueueLocked(&entry->writers, wake_head, wake_tail, kWakeReady);
+  }
+}
+
+int NetPoller::PollOnce(int timeout_ms) {
+  struct epoll_event events[kEventBatch];
+  int n;
+  do {
+    n = epoll_wait(epfd_, events, kEventBatch, timeout_ms);
+  } while (n < 0 && errno == EINTR && timeout_ms == 0);
+  if (n < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  if (n > 0 && Stats::Enabled()) {
+    Stats::RecordValue(LatencyStat::kNetEpollBatch, static_cast<uint64_t>(n));
+  }
+  Tcb* wake_head = nullptr;
+  Tcb* wake_tail = nullptr;
+  int woken = 0;
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    if (fd == wakeup_fd_) {
+      uint64_t token;
+      while (read(wakeup_fd_, &token, sizeof(token)) > 0) {
+      }
+      continue;
+    }
+    DispatchEvent(fd, events[i].events, &wake_head, &wake_tail);
+  }
+  for (Tcb* t = wake_head; t != nullptr; t = t->wait_next) {
+    ++woken;
+  }
+  WakeChain(wake_head);
+  return woken;
+}
+
+void NetPoller::Kick() {
+  uint64_t one = 1;
+  (void)!write(wakeup_fd_, &one, sizeof(one));
+}
+
+// ---- Parking ----------------------------------------------------------------
+
+namespace {
+
+// Timer-engine callback when a deadline expires before readiness.
+void NetTimeoutFire(void* cookie, uint64_t generation) {
+  auto* ctx = static_cast<NetTimeoutCtx*>(cookie);
+  NetPoller::FdEntry* entry = ctx->entry;
+  Tcb* tcb = ctx->tcb;
+  bool writer = ctx->writer;
+  delete ctx;
+  Tcb* to_wake = nullptr;
+  {
+    SpinLockGuard guard(entry->lock);
+    NetPoller::WaitQueue& q = writer ? entry->writers : entry->readers;
+    // Only touch the TCB if it is still parked here (queued => alive) and this
+    // is still the same wait (generation match).
+    if (WaitqRemove(&q.head, &q.tail, tcb)) {
+      if (tcb->block_generation == generation) {
+        tcb->timed_out = true;
+        to_wake = tcb;
+      } else {
+        WaitqPush(&q.head, &q.tail, tcb);  // stale timer for an earlier wait
+      }
+    }
+  }
+  if (to_wake != nullptr) {
+    sched::WakeFdWaiter(to_wake);
+  }
+}
+
+}  // namespace
+
+int NetPoller::WaitReady(int fd, uint32_t events, int64_t timeout_ns) {
+  SUNMT_DCHECK(events == NET_READABLE || events == NET_WRITABLE);
+  FdEntry* entry = GetEntry(fd);
+  if (entry == nullptr) {
+    return EBADF;
+  }
+  Tcb* self = sched::CurrentTcbOrAdopt();
+  int64_t wait_start = SyncWaitStartNs();
+  entry->lock.Lock();
+  if (!entry->registered) {
+    entry->lock.Unlock();
+    return EBADF;
+  }
+  if (g_mode.load(std::memory_order_acquire) == Mode::kStopped) {
+    entry->lock.Unlock();
+    return ECANCELED;
+  }
+  if ((entry->ready & events) != 0) {
+    // A readiness edge arrived since the caller's last EAGAIN: consume the
+    // latch and let the caller retry the syscall instead of parking.
+    entry->ready &= ~events;
+    entry->lock.Unlock();
+    return 0;
+  }
+  if (timeout_ns == 0) {
+    entry->lock.Unlock();
+    return ETIME;
+  }
+  bool writer = (events == NET_WRITABLE);
+  WaitQueue& q = writer ? entry->writers : entry->readers;
+  uint64_t generation = ++self->block_generation;
+  self->timed_out = false;
+  WaitqPush(&q.head, &q.tail, self);
+  parked_count_.fetch_add(1, std::memory_order_release);
+  // Arm the deadline while still holding the entry lock: the fire path needs
+  // the lock too, so it cannot touch a half-enqueued waiter.
+  timer_id_t timer = kInvalidTimerId;
+  NetTimeoutCtx* ctx = nullptr;
+  if (timeout_ns > 0) {
+    ctx = new NetTimeoutCtx{entry, self, writer};
+    timer = timer_arm_callback(timeout_ns, &NetTimeoutFire, ctx, generation);
+  }
+  if (g_mode.load(std::memory_order_acquire) == Mode::kInline) {
+    ArmInlineTick();
+  }
+  sched::ParkOnFd(&entry->lock, fd, static_cast<uint8_t>(events));
+  parked_count_.fetch_sub(1, std::memory_order_release);
+  SyncWaitEndNs(LatencyStat::kNetReadinessWait, TraceEvent::kNetWake, self->id,
+                wait_start);
+  if (self->timed_out) {
+    return ETIME;  // the fire path owns and already freed ctx
+  }
+  if (timer != kInvalidTimerId && timer_cancel(timer) == 0) {
+    delete ctx;  // cancelled before firing: the callback will never free it
+  }
+  // (A lost cancel race is benign: the in-flight callback sees us gone from
+  // the queue — or a mismatched generation — frees ctx and does not wake us.)
+  return self->park_result == kWakeCancelled ? ECANCELED : 0;
+}
+
+// ---- Dedicated mode ---------------------------------------------------------
+
+void NetPoller::DedicatedLoop(void* arg) {
+  auto* poller = static_cast<NetPoller*>(arg);
+  thread_setname(0, "netpoller");
+  while (!poller->stopping_.load(std::memory_order_acquire)) {
+    // The poller thread is bound, so this indefinite kernel wait parks its own
+    // LWP only — the pool keeps running application threads, and the
+    // SIGWAITING watchdog (which inspects pool LWPs) is unaffected.
+    KernelWaitScope wait(/*indefinite=*/true);
+    int woken = poller->PollOnce(/*timeout_ms=*/-1);
+    if (woken < 0) {
+      break;  // epoll fd destroyed under us (should not happen)
+    }
+  }
+}
+
+int NetPoller::StartDedicated() {
+  SpinLockGuard guard(lifecycle_lock_);
+  if (dedicated_running_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  stopping_.store(false, std::memory_order_release);
+  g_mode.store(Mode::kDedicated, std::memory_order_release);
+  thread_id_t id = thread_create(nullptr, 0, &NetPoller::DedicatedLoop, this,
+                                 THREAD_BIND_LWP | THREAD_WAIT);
+  if (id == kInvalidThreadId) {
+    g_mode.store(Mode::kInline, std::memory_order_release);
+    errno = EAGAIN;
+    return -1;
+  }
+  dedicated_thread_ = id;
+  dedicated_running_.store(true, std::memory_order_release);
+  return 0;
+}
+
+int NetPoller::Stop() {
+  SpinLockGuard guard(lifecycle_lock_);
+  g_mode.store(Mode::kStopped, std::memory_order_release);
+  if (dedicated_running_.load(std::memory_order_acquire)) {
+    stopping_.store(true, std::memory_order_release);
+    Kick();
+    thread_wait(dedicated_thread_);
+    dedicated_running_.store(false, std::memory_order_release);
+    dedicated_thread_ = 0;
+  }
+  // Wake everyone still parked; their WaitReady returns ECANCELED.
+  int highwater = fd_highwater_.load(std::memory_order_acquire);
+  for (int fd = 0; fd < highwater; ++fd) {
+    FdEntry* entry = table_[fd].load(std::memory_order_acquire);
+    if (entry == nullptr) {
+      continue;
+    }
+    Tcb* wake_head = nullptr;
+    Tcb* wake_tail = nullptr;
+    {
+      SpinLockGuard entry_guard(entry->lock);
+      CancelWaitersLocked(entry, &wake_head, &wake_tail);
+    }
+    WakeChain(wake_head);
+  }
+  return 0;
+}
+
+bool NetPoller::Running() const {
+  Mode mode = g_mode.load(std::memory_order_acquire);
+  if (mode == Mode::kStopped) {
+    return false;
+  }
+  if (mode == Mode::kDedicated) {
+    return dedicated_running_.load(std::memory_order_acquire);
+  }
+  return registered_count_.load(std::memory_order_relaxed) > 0;
+}
+
+// ---- Inline fallback --------------------------------------------------------
+
+int NetPoller::PollInline() {
+  if (g_mode.load(std::memory_order_acquire) != Mode::kInline ||
+      parked_count_.load(std::memory_order_acquire) == 0) {
+    return -1;  // nothing to do: deep-park is fine
+  }
+  // One inline poller at a time; contenders report "polled nothing" so their
+  // LWP stays in the shallow ParkFor loop and can take over next period.
+  if (inline_poll_busy_.exchange(1, std::memory_order_acquire) != 0) {
+    return 0;
+  }
+  int woken = PollOnce(/*timeout_ms=*/0);
+  inline_poll_busy_.store(0, std::memory_order_release);
+  return woken < 0 ? 0 : woken;
+}
+
+int NetPoller::IdlePollHook() {
+  NetPoller* poller = g_poller.load(std::memory_order_acquire);
+  if (poller == nullptr) {
+    return -1;
+  }
+  return poller->PollInline();
+}
+
+int64_t NetPoller::IdlePollPeriodNs() { return kInlinePollPeriodNs; }
+
+// Timer-engine backstop for inline mode: idle LWPs poll opportunistically, but
+// if every LWP is busy running compute threads nobody reaches the idle path —
+// this tick keeps parked net waiters from starving.
+void NetPoller::InlineTick(void* cookie, uint64_t) {
+  auto* poller = static_cast<NetPoller*>(cookie);
+  poller->PollInline();
+  poller->inline_tick_armed_.store(false, std::memory_order_release);
+  if (g_mode.load(std::memory_order_acquire) == Mode::kInline &&
+      poller->parked_count_.load(std::memory_order_acquire) > 0) {
+    poller->ArmInlineTick();
+  }
+}
+
+void NetPoller::ArmInlineTick() {
+  if (inline_tick_armed_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  timer_arm_callback(kInlinePollPeriodNs, &NetPoller::InlineTick, this, 0);
+}
+
+}  // namespace sunmt

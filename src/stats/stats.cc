@@ -102,6 +102,10 @@ const char* LatencyStatName(LatencyStat stat) {
       return "condvar_wait_shared";
     case LatencyStat::kKernelWait:
       return "kernel_wait";
+    case LatencyStat::kNetReadinessWait:
+      return "net.readiness_wait";
+    case LatencyStat::kNetEpollBatch:
+      return "net.epoll_batch";
     case LatencyStat::kCount:
       break;
   }
@@ -109,7 +113,8 @@ const char* LatencyStatName(LatencyStat stat) {
 }
 
 bool LatencyStatIsDuration(LatencyStat stat) {
-  return stat != LatencyStat::kRunQueueDepth;
+  return stat != LatencyStat::kRunQueueDepth &&
+         stat != LatencyStat::kNetEpollBatch;
 }
 
 namespace {

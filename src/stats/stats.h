@@ -66,6 +66,8 @@ enum class LatencyStat : uint8_t {
   kCondvarWaitLocal,   // cv_wait block time, process-local condvar
   kCondvarWaitShared,  // cv_wait futex wait, shared condvar
   kKernelWait,         // LWP blocked in the kernel (KernelWaitScope)
+  kNetReadinessWait,   // thread parked on fd readiness (src/net WaitReady)
+  kNetEpollBatch,      // events per nonempty epoll_wait drain (dimensionless)
   kCount,
 };
 

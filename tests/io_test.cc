@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -136,6 +138,71 @@ TEST(Io, ThreadErrnoIsPerThread) {
   EXPECT_TRUE(Join(worker));
   EXPECT_EQ(worker_errno.load(), EBADF);
   EXPECT_EQ(thread_errno(), 0);  // main's copy untouched
+}
+
+TEST(Io, SuccessfulCallClearsThreadErrno) {
+  // A wrapper that succeeds must leave thread_errno() at 0, not whatever the
+  // previous failure left behind — otherwise `if (io_read(...) < 0)` callers
+  // that later consult errno see a stale code.
+  char ch;
+  EXPECT_LT(io_read(-1, &ch, 1), 0);
+  EXPECT_EQ(thread_errno(), EBADF);
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  char msg = 'k';
+  ASSERT_EQ(write(fds[1], &msg, 1), 1);
+  EXPECT_EQ(io_read(fds[0], &ch, 1), 1);
+  EXPECT_EQ(thread_errno(), 0) << "success must clear the stale EBADF";
+
+  EXPECT_EQ(io_write(fds[1], &msg, 1), 1);
+  EXPECT_EQ(thread_errno(), 0);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Io, AcceptFillsPeerAddress) {
+  // Three-argument io_accept: same blocking semantics as the one-arg form,
+  // but reports the peer address like accept(2).
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(bind(listener, reinterpret_cast<sockaddr*>(&addr), len), 0);
+  ASSERT_EQ(listen(listener, 1), 0);
+  ASSERT_EQ(getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  static std::atomic<int> accepted_fd;
+  static sockaddr_in peer;
+  static socklen_t peer_len;
+  accepted_fd.store(-1);
+  peer = {};
+  peer_len = sizeof(peer);
+  thread_id_t acceptor = Spawn([&] {
+    accepted_fd.store(
+        io_accept(listener, reinterpret_cast<sockaddr*>(&peer), &peer_len));
+  });
+
+  int client = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  ASSERT_EQ(connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_TRUE(Join(acceptor));
+  ASSERT_GE(accepted_fd.load(), 0);
+  EXPECT_EQ(peer.sin_family, AF_INET);
+  EXPECT_EQ(peer.sin_addr.s_addr, htonl(INADDR_LOOPBACK));
+
+  // The reported peer port matches what the client socket was bound to.
+  sockaddr_in local = {};
+  socklen_t local_len = sizeof(local);
+  ASSERT_EQ(getsockname(client, reinterpret_cast<sockaddr*>(&local), &local_len), 0);
+  EXPECT_EQ(peer.sin_port, local.sin_port);
+
+  close(accepted_fd.load());
+  close(client);
+  close(listener);
 }
 
 TEST(Io, ManyBlockedReadersAllRelease) {

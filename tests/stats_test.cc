@@ -219,17 +219,23 @@ TEST(StatsTest, FormatStatsRendersQuantileTable) {
 struct ContentionCtx {
   mutex_t mu = {};
   sema_t ready = {};
+  std::atomic<bool> attempting{false};
   std::atomic<bool> holder_done{false};
 };
 
 // Holder: takes the mutex, lets the contender know, then dawdles inside the
-// critical section while yielding, so the contender measurably blocks. On one
-// CPU the yields are what give the contender a chance to attempt the lock.
+// critical section until the contender has announced its lock attempt (plus a
+// few extra yields so the attempt reaches the block path), so the contender
+// measurably blocks regardless of how slowly it gets scheduled (sanitizer
+// builds can stall it past any fixed yield count).
 void HolderThread(void* arg) {
   auto* ctx = static_cast<ContentionCtx*>(arg);
   mutex_enter(&ctx->mu);
   sema_v(&ctx->ready);
-  for (int i = 0; i < 50; ++i) {
+  while (!ctx->attempting.load(std::memory_order_acquire)) {
+    thread_yield();
+  }
+  for (int i = 0; i < 20; ++i) {
     thread_yield();
   }
   mutex_exit(&ctx->mu);
@@ -239,6 +245,7 @@ void HolderThread(void* arg) {
 void ContenderThread(void* arg) {
   auto* ctx = static_cast<ContentionCtx*>(arg);
   sema_p(&ctx->ready);  // wait until the holder owns the mutex
+  ctx->attempting.store(true, std::memory_order_release);
   mutex_enter(&ctx->mu);
   mutex_exit(&ctx->mu);
 }
