@@ -1,0 +1,142 @@
+// Ablation A12 — dispatch-path scalability (sharded run queues + stealing).
+//
+// Spawn/yield/wake churn across 1..8 pool LWPs. Every workload is a fixed
+// amount of scheduling work, so time-per-iteration is inverse dispatch
+// throughput: with the single global run queue every dispatch serializes on
+// one spinlock and adding LWPs adds contention; with per-LWP shards the same
+// workload should get cheaper (or at worst flat) as LWPs are added.
+//
+//   * YieldChurn — T resident threads each call thread_yield() K times; every
+//     yield is a requeue + dispatch on the hottest path in the scheduler.
+//   * WakeChurn — P semaphore ping-pong pairs; every round trip is two
+//     block/wake/dispatch cycles (exercises wake affinity / the next box).
+//   * SpawnChurn — N create-run-exit threads; every thread is one enqueue from
+//     the (adopted) creator plus one dispatch on a pool LWP.
+//
+// Run with SUNMT_STATS=1 to additionally print the run-queue lock-wait
+// histogram per LWP count (the contention-vs-LWPs acceptance signal).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/thread.h"
+#include "src/introspect/introspect.h"
+#include "src/stats/stats.h"
+#include "src/sync/sync.h"
+
+namespace {
+
+using namespace sunmt;
+
+constexpr int kYieldThreads = 16;
+constexpr int kYieldsPerThread = 400;
+constexpr int kPingPongPairs = 8;
+constexpr int kRoundTrips = 400;
+constexpr int kSpawnBatch = 1000;
+
+sema_t g_done;
+
+struct YieldArg {
+  int rounds;
+};
+
+void YieldWorker(void* p) {
+  int rounds = static_cast<YieldArg*>(p)->rounds;
+  for (int i = 0; i < rounds; ++i) {
+    thread_yield();
+  }
+  sema_v(&g_done);
+}
+
+void BM_YieldChurn(benchmark::State& state) {
+  thread_setconcurrency(static_cast<int>(state.range(0)));
+  static YieldArg arg;
+  arg.rounds = kYieldsPerThread;
+  for (auto _ : state) {
+    sema_init(&g_done, 0, 0, nullptr);
+    for (int i = 0; i < kYieldThreads; ++i) {
+      thread_create(nullptr, 0, &YieldWorker, &arg, 0);
+    }
+    for (int i = 0; i < kYieldThreads; ++i) {
+      sema_p(&g_done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kYieldThreads * kYieldsPerThread);
+}
+BENCHMARK(BM_YieldChurn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+struct Pair {
+  sema_t ping;
+  sema_t pong;
+};
+
+Pair g_pairs[kPingPongPairs];
+
+void Pinger(void* p) {
+  Pair* pair = static_cast<Pair*>(p);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    sema_v(&pair->ping);
+    sema_p(&pair->pong);
+  }
+  sema_v(&g_done);
+}
+
+void Ponger(void* p) {
+  Pair* pair = static_cast<Pair*>(p);
+  for (int i = 0; i < kRoundTrips; ++i) {
+    sema_p(&pair->ping);
+    sema_v(&pair->pong);
+  }
+  sema_v(&g_done);
+}
+
+void BM_WakeChurn(benchmark::State& state) {
+  thread_setconcurrency(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sema_init(&g_done, 0, 0, nullptr);
+    for (int i = 0; i < kPingPongPairs; ++i) {
+      sema_init(&g_pairs[i].ping, 0, 0, nullptr);
+      sema_init(&g_pairs[i].pong, 0, 0, nullptr);
+      thread_create(nullptr, 0, &Pinger, &g_pairs[i], 0);
+      thread_create(nullptr, 0, &Ponger, &g_pairs[i], 0);
+    }
+    for (int i = 0; i < 2 * kPingPongPairs; ++i) {
+      sema_p(&g_done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kPingPongPairs * kRoundTrips * 2);
+}
+BENCHMARK(BM_WakeChurn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void SpawnWorker(void*) { sema_v(&g_done); }
+
+void BM_SpawnChurn(benchmark::State& state) {
+  thread_setconcurrency(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sema_init(&g_done, 0, 0, nullptr);
+    for (int i = 0; i < kSpawnBatch; ++i) {
+      thread_create(nullptr, 0, &SpawnWorker, nullptr, 0);
+    }
+    for (int i = 0; i < kSpawnBatch; ++i) {
+      sema_p(&g_done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kSpawnBatch);
+}
+BENCHMARK(BM_SpawnChurn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rc = sunmt_bench::RunBenchmarksWithJson("abl_sched_steal", argc, argv);
+  // With SUNMT_STATS=1 the run-queue lock-wait/steal picture accumulated over
+  // the whole run is appended (per-LWP-count isolation: use --benchmark_filter).
+  if (sunmt::Stats::Enabled()) {
+    printf("%s", sunmt::FormatProcessState().c_str());
+  }
+  return rc;
+}

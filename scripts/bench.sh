@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs every bench/abl_* binary and collects the machine-readable
+# BENCH_<name>.json line each one emits (see bench/bench_util.h) into
+# BENCH_<name>.json files in the repo root, so the perf trajectory is
+# recorded per PR instead of scrolling away in a terminal.
+#
+# Usage: scripts/bench.sh [extra benchmark args...]
+#   e.g. scripts/bench.sh --benchmark_min_time=0.2
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+
+if [[ ! -d "$build/bench" ]]; then
+  echo "bench.sh: $build/bench missing — run cmake + build first" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+benches=("$build"/bench/abl_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "bench.sh: no abl_* binaries under $build/bench" >&2
+  exit 1
+fi
+
+failed=0
+for bin in "${benches[@]}"; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name="$(basename "$bin")"
+  echo "== $name =="
+  out="$("$bin" "$@" 2>&1)" || {
+    echo "$out"
+    echo "bench.sh: $name FAILED" >&2
+    failed=1
+    continue
+  }
+  echo "$out"
+  # Each binary prints:  BENCH_<name>.json {"bench":...}
+  line="$(printf '%s\n' "$out" | grep -E "^BENCH_${name}\.json " | tail -1 || true)"
+  if [[ -z "$line" ]]; then
+    echo "bench.sh: $name emitted no BENCH_${name}.json line" >&2
+    failed=1
+    continue
+  fi
+  printf '%s\n' "${line#BENCH_${name}.json }" > "$repo/BENCH_${name}.json"
+  echo "-> BENCH_${name}.json"
+done
+
+exit $failed

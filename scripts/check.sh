@@ -2,9 +2,10 @@
 # Tier-1 gate plus the sanitizer pass on the concurrency-heavy subsystems.
 #
 #   1. Regular build + full ctest (the ROADMAP tier-1 command).
-#   2. SUNMT_SANITIZE=thread build, running the `net` and `stats` labels —
-#      the netpoller's park/wake path and the trace/stats seqlock are the two
-#      places a data race would live.
+#   2. SUNMT_SANITIZE=thread build, running the `net`, `stats`, and `sched`
+#      labels — the netpoller's park/wake path, the trace/stats seqlock, and
+#      the sharded run queue's steal/box migration are the places a data race
+#      would live.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 
@@ -19,10 +20,10 @@ cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo
-echo "== tsan: net + stats labels =="
+echo "== tsan: net + stats + sched labels =="
 cmake -S "$repo" -B "$repo/build-tsan" -DSUNMT_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
-ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats"
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched"
 
 echo
 echo "check.sh: all green"

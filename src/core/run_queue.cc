@@ -1,5 +1,9 @@
 #include "src/core/run_queue.h"
 
+#include "src/core/trace.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+
 namespace sunmt {
 
 int RunQueue::ClampPriority(int prio) {
@@ -22,26 +26,36 @@ int RunQueue::HighestLevel() const {
   return -1;
 }
 
-void RunQueue::Push(Tcb* tcb) {
+void RunQueue::Lock() const {
+  if (lock_.TryLock()) {
+    return;
+  }
+  if (!Stats::Enabled()) {
+    lock_.Lock();
+    return;
+  }
+  int64_t start = MonotonicNowNs();
+  lock_.Lock();
+  Stats::RecordNs(LatencyStat::kRunQueueLockWait, MonotonicNowNs() - start);
+}
+
+void RunQueue::PushLocked(Tcb* tcb, bool front) {
   int level = ClampPriority(tcb->priority.load(std::memory_order_relaxed));
-  SpinLockGuard guard(lock_);
   tcb->queued_priority = level;
-  levels_[level].PushBack(tcb);
+  tcb->queued_where.store(tag_, std::memory_order_release);
+  if (front) {
+    levels_[level].PushFront(tcb);
+  } else {
+    levels_[level].PushBack(tcb);
+  }
   SetBit(level);
+  if (level > top_.load(std::memory_order_relaxed)) {
+    top_.store(level, std::memory_order_relaxed);
+  }
   size_.fetch_add(1, std::memory_order_release);
 }
 
-void RunQueue::PushFront(Tcb* tcb) {
-  int level = ClampPriority(tcb->priority.load(std::memory_order_relaxed));
-  SpinLockGuard guard(lock_);
-  tcb->queued_priority = level;
-  levels_[level].PushFront(tcb);
-  SetBit(level);
-  size_.fetch_add(1, std::memory_order_release);
-}
-
-Tcb* RunQueue::Pop() {
-  SpinLockGuard guard(lock_);
+Tcb* RunQueue::PopLocked() {
   int level = HighestLevel();
   if (level < 0) {
     return nullptr;
@@ -49,22 +63,463 @@ Tcb* RunQueue::Pop() {
   Tcb* tcb = levels_[level].PopFront();
   if (levels_[level].Empty()) {
     ClearBit(level);
+    top_.store(HighestLevel(), std::memory_order_relaxed);
   }
   size_.fetch_sub(1, std::memory_order_release);
   return tcb;
 }
 
+void RunQueue::Push(Tcb* tcb) {
+  Lock();
+  PushLocked(tcb, /*front=*/false);
+  lock_.Unlock();
+}
+
+void RunQueue::PushFront(Tcb* tcb) {
+  Lock();
+  PushLocked(tcb, /*front=*/true);
+  lock_.Unlock();
+}
+
+void RunQueue::PushBulk(Tcb* const* tcbs, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  Lock();
+  for (size_t i = 0; i < n; ++i) {
+    PushLocked(tcbs[i], /*front=*/false);
+  }
+  lock_.Unlock();
+}
+
+Tcb* RunQueue::Pop() {
+  Lock();
+  Tcb* tcb = PopLocked();
+  if (tcb != nullptr) {
+    tcb->queued_where.store(kTcbNotQueued, std::memory_order_release);
+  }
+  lock_.Unlock();
+  return tcb;
+}
+
 bool RunQueue::Remove(Tcb* tcb) {
-  SpinLockGuard guard(lock_);
+  Lock();
+  // Verify the thread is still in *this* queue before touching list links:
+  // queued_where is only written under the owning container's lock, so under
+  // our lock a matching tag means the node is linked into our levels_.
+  if (tcb->queued_where.load(std::memory_order_relaxed) != tag_) {
+    lock_.Unlock();
+    return false;
+  }
   int level = tcb->queued_priority;
   if (!levels_[level].TryRemove(tcb)) {
+    lock_.Unlock();
     return false;
   }
   if (levels_[level].Empty()) {
     ClearBit(level);
+    top_.store(HighestLevel(), std::memory_order_relaxed);
   }
   size_.fetch_sub(1, std::memory_order_release);
+  tcb->queued_where.store(kTcbNotQueued, std::memory_order_release);
+  lock_.Unlock();
   return true;
+}
+
+size_t RunQueue::PopHalfInto(Tcb** out, size_t max_out) {
+  Lock();
+  size_t queued = size_.load(std::memory_order_relaxed);
+  size_t want = (queued + 1) / 2;
+  if (want > max_out) {
+    want = max_out;
+  }
+  size_t got = 0;
+  while (got < want) {
+    Tcb* tcb = PopLocked();
+    if (tcb == nullptr) {
+      break;
+    }
+    tcb->queued_where.store(kTcbInTransit, std::memory_order_release);
+    out[got++] = tcb;
+  }
+  lock_.Unlock();
+  return got;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRunQueue
+// ---------------------------------------------------------------------------
+
+void ShardedRunQueue::Init(int shards) {
+  if (shards < 1) {
+    shards = 1;
+  }
+  if (shards > kMaxShards) {
+    shards = kMaxShards;
+  }
+  shard_count_ = shards;
+  for (int i = 0; i < shard_count_; ++i) {
+    shards_[i].queue.SetTag(i);
+  }
+}
+
+int ShardedRunQueue::PickSpawnShard() const {
+  int best = 0;
+  int best_live = shards_[0].live_lwps.load(std::memory_order_relaxed);
+  for (int s = 1; s < shard_count_ && best_live > 0; ++s) {
+    int live = shards_[s].live_lwps.load(std::memory_order_relaxed);
+    if (live < best_live) {
+      best = s;
+      best_live = live;
+    }
+  }
+  return best;
+}
+
+void ShardedRunQueue::AttachLwp(int shard) {
+  shards_[shard].live_lwps.fetch_add(1, std::memory_order_acq_rel);
+  int limit = shard_limit_.load(std::memory_order_relaxed);
+  while (shard + 1 > limit &&
+         !shard_limit_.compare_exchange_weak(limit, shard + 1,
+                                             std::memory_order_acq_rel)) {
+  }
+}
+
+void ShardedRunQueue::DetachLwp(int shard) {
+  if (shards_[shard].live_lwps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    DrainShardToOverflow(shard);
+  }
+}
+
+Tcb* ShardedRunQueue::TakeBox(Shard& shard) {
+  if (shard.box.load(std::memory_order_relaxed) == nullptr) {
+    return nullptr;
+  }
+  Tcb* tcb = shard.box.exchange(nullptr, std::memory_order_acquire);
+  if (tcb != nullptr) {
+    tcb->queued_where.store(kTcbNotQueued, std::memory_order_release);
+  }
+  return tcb;
+}
+
+void ShardedRunQueue::DrainShardToOverflow(int s) {
+  Shard& shard = shards_[s];
+  Tcb* boxed = TakeBox(shard);
+  if (boxed != nullptr) {
+    overflow_.Push(boxed);
+  }
+  Tcb* batch[kStealBatch];
+  for (;;) {
+    size_t got = 0;
+    while (got < kStealBatch) {
+      Tcb* tcb = shard.queue.Pop();
+      if (tcb == nullptr) {
+        break;
+      }
+      batch[got++] = tcb;
+    }
+    if (got == 0) {
+      break;
+    }
+    overflow_.PushBulk(batch, got);
+  }
+}
+
+int ShardedRunQueue::PickLeastLoaded(uint64_t seed_mix) const {
+  int limit = shard_limit_.load(std::memory_order_acquire);
+  if (limit <= 0) {
+    return -1;
+  }
+  // Two random probes among live shards (power of two choices); fall back to
+  // a linear scan for any live shard.
+  SplitMix64 rng(seed_mix);
+  int best = -1;
+  size_t best_depth = 0;
+  for (int probe = 0; probe < 2; ++probe) {
+    int s = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(limit)));
+    if (shards_[s].live_lwps.load(std::memory_order_relaxed) <= 0) {
+      continue;
+    }
+    size_t depth = shards_[s].queue.Size();
+    if (best < 0 || depth < best_depth) {
+      best = s;
+      best_depth = depth;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  for (int s = 0; s < limit; ++s) {
+    if (shards_[s].live_lwps.load(std::memory_order_relaxed) > 0) {
+      return s;
+    }
+  }
+  return -1;
+}
+
+bool ShardedRunQueue::Enqueue(Tcb* tcb, int waker_shard, bool wake_affinity) {
+  // Counted before the thread lands anywhere so a parking LWP's Empty()
+  // recheck never misses it (transient overcount is harmless).
+  total_.fetch_add(1, std::memory_order_acq_rel);
+  int prio = tcb->priority.load(std::memory_order_relaxed);
+  if (prio > kSharedPriority) {
+    // Boosted work keeps the paper's strict global priority order: every
+    // dispatcher consults the overflow queue, so the highest-priority
+    // runnable thread is taken next no matter which LWP frees up first.
+    overflow_enqueues_.Inc();
+    overflow_.Push(tcb);
+    return true;
+  }
+
+  bool waker_live = waker_shard >= 0 && waker_shard < shard_count_ &&
+                    shards_[waker_shard].live_lwps.load(std::memory_order_relaxed) > 0;
+  int last = tcb->last_shard;
+  bool last_live = last >= 0 && last < shard_count_ &&
+                   shards_[last].live_lwps.load(std::memory_order_relaxed) > 0;
+
+  if (wake_affinity && waker_live) {
+    // LIFO next box: the wakee runs next on the waker's LWP; a displaced
+    // earlier wakee keeps its spot at the front of the shard queue.
+    Shard& shard = shards_[waker_shard];
+    tcb->queued_where.store(kBoxTagBase + waker_shard, std::memory_order_release);
+    Tcb* displaced = shard.box.exchange(tcb, std::memory_order_acq_rel);
+    box_wakes_.Inc();
+    if (displaced != nullptr) {
+      shard.queue.PushFront(displaced);
+      return true;  // the displaced thread is now stealable queue backlog
+    }
+    return false;  // pure box placement: the owner LWP will dispatch it
+  }
+
+  int target = -1;
+  if (last_live) {
+    target = last;
+  } else if (waker_live) {
+    target = waker_shard;
+  } else {
+    target = PickLeastLoaded(reinterpret_cast<uintptr_t>(tcb) ^
+                             (static_cast<uint64_t>(prio) << 32));
+  }
+  if (target < 0) {
+    // No live shard at all (pool mid-shutdown/growth): overflow keeps the
+    // thread visible to whatever LWP dispatches next.
+    overflow_enqueues_.Inc();
+    overflow_.Push(tcb);
+    return true;
+  }
+  shards_[target].queue.Push(tcb);
+  // Re-check liveness after the push: if the shard's last LWP retired between
+  // our check and the push, its drain may have missed us — drain again.
+  if (shards_[target].live_lwps.load(std::memory_order_acquire) <= 0) {
+    DrainShardToOverflow(target);
+  }
+  return true;
+}
+
+bool ShardedRunQueue::HasStealableWork() const {
+  if (!overflow_.Empty()) {
+    return true;
+  }
+  int limit = shard_limit_.load(std::memory_order_acquire);
+  for (int s = 0; s < limit; ++s) {
+    if (!shards_[s].queue.Empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tcb* ShardedRunQueue::PopLocal(int shard) {
+  Tcb* taken = PopLocalInternal(shard);
+  if (taken != nullptr) {
+    total_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return taken;
+}
+
+Tcb* ShardedRunQueue::PopLocalInternal(int shard) {
+  Shard& sh = shards_[shard];
+  Tcb* cand = TakeBox(sh);
+  int cand_prio =
+      cand != nullptr ? cand->priority.load(std::memory_order_relaxed) : -1;
+  int local_top = sh.queue.TopPriority();
+  if (cand != nullptr && local_top > cand_prio) {
+    // Queue outranks the box occupant: demote it back (front of its level).
+    sh.queue.PushFront(cand);
+    cand = nullptr;
+    cand_prio = -1;
+  }
+  if (cand == nullptr) {
+    cand = sh.queue.Pop();
+    cand_prio =
+        cand != nullptr ? cand->priority.load(std::memory_order_relaxed) : -1;
+  }
+  int overflow_top = overflow_.TopPriority();
+  if (overflow_top >= 0) {
+    // Strictly higher-priority shared work always wins; at equal priority,
+    // check the overflow periodically so shared work cannot starve behind a
+    // shard that keeps feeding itself.
+    bool take = overflow_top > cand_prio;
+    if (!take && overflow_top == cand_prio &&
+        (sh.ticks.fetch_add(1, std::memory_order_relaxed) & 63u) == 0) {
+      take = true;
+    }
+    if (take) {
+      Tcb* shared = overflow_.Pop();
+      if (shared != nullptr) {
+        if (cand != nullptr) {
+          sh.queue.PushFront(cand);
+        }
+        return shared;
+      }
+    }
+  }
+  return cand;
+}
+
+Tcb* ShardedRunQueue::Steal(int thief_shard) {
+  Tcb* taken = StealInternal(thief_shard);
+  if (taken != nullptr) {
+    total_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return taken;
+}
+
+Tcb* ShardedRunQueue::StealInternal(int thief_shard) {
+  int limit = shard_limit_.load(std::memory_order_acquire);
+  if (limit <= 1) {
+    return nullptr;
+  }
+  thread_local SplitMix64 rng(0x9e3779b97f4a7c15ull ^
+                              reinterpret_cast<uintptr_t>(&rng));
+  int start = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(limit)));
+  Tcb* batch[kStealBatch];
+  for (int i = 0; i < limit; ++i) {
+    int victim = start + i;
+    if (victim >= limit) {
+      victim -= limit;
+    }
+    if (victim == thief_shard) {
+      continue;
+    }
+    size_t got = shards_[victim].queue.PopHalfInto(batch, kStealBatch);
+    if (got == 0) {
+      continue;
+    }
+    steals_.Inc();
+    stolen_threads_.Inc(got);
+    Trace::Record(TraceEvent::kSteal,
+                  static_cast<uint64_t>(thief_shard),
+                  (static_cast<uint64_t>(got) << 32) |
+                      static_cast<uint64_t>(victim));
+    // PopHalfInto pops highest-priority-first, so batch[0] is the best thread:
+    // run it directly, file the rest in the thief's shard.
+    batch[0]->queued_where.store(kTcbNotQueued, std::memory_order_release);
+    if (got > 1) {
+      shards_[thief_shard].queue.PushBulk(batch + 1, got - 1);
+    }
+    return batch[0];
+  }
+  // Nothing queued anywhere: raid another shard's next box before giving up,
+  // so a wake parked in the box of a busy LWP is not stranded while we idle.
+  for (int i = 0; i < limit; ++i) {
+    int victim = start + i;
+    if (victim >= limit) {
+      victim -= limit;
+    }
+    if (victim == thief_shard) {
+      continue;
+    }
+    Tcb* boxed = TakeBox(shards_[victim]);
+    if (boxed != nullptr) {
+      steals_.Inc();
+      stolen_threads_.Inc();
+      Trace::Record(TraceEvent::kSteal,
+                    static_cast<uint64_t>(thief_shard),
+                    (uint64_t{1} << 32) | static_cast<uint64_t>(victim));
+      return boxed;
+    }
+  }
+  return nullptr;
+}
+
+bool ShardedRunQueue::Remove(Tcb* tcb) {
+  if (!RemoveInternal(tcb)) {
+    return false;
+  }
+  total_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool ShardedRunQueue::RemoveInternal(Tcb* tcb) {
+  // Chase the thread through concurrent moves: queued_where is only written
+  // under the owning container's lock (or the box CAS), and a queued thread
+  // only moves queue -> transit -> queue, so a bounded retry always converges
+  // unless the thread gets dispatched (in which case it is no longer queued
+  // and we correctly report false).
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    int where = tcb->queued_where.load(std::memory_order_acquire);
+    if (where == kTcbNotQueued) {
+      return false;
+    }
+    if (where == kTcbInTransit) {
+      CpuRelax();
+      continue;
+    }
+    if (where >= kBoxTagBase) {
+      int s = where - kBoxTagBase;
+      if (s < 0 || s >= shard_count_) {
+        return false;
+      }
+      Tcb* expected = tcb;
+      if (shards_[s].box.compare_exchange_strong(expected, nullptr,
+                                                 std::memory_order_acq_rel)) {
+        tcb->queued_where.store(kTcbNotQueued, std::memory_order_release);
+        return true;
+      }
+      continue;
+    }
+    if (where == kOverflowTag) {
+      if (overflow_.Remove(tcb)) {
+        return true;
+      }
+      continue;
+    }
+    if (where >= 0 && where < shard_count_) {
+      if (shards_[where].queue.Remove(tcb)) {
+        return true;
+      }
+      continue;
+    }
+    // Standalone tag or garbage: not ours.
+    return false;
+  }
+  return false;
+}
+
+bool ShardedRunQueue::HasLocalWork(int shard) const {
+  if (!overflow_.Empty()) {
+    return true;
+  }
+  if (shard < 0 || shard >= shard_count_) {
+    return false;
+  }
+  const Shard& sh = shards_[shard];
+  return sh.box.load(std::memory_order_acquire) != nullptr || !sh.queue.Empty();
+}
+
+size_t ShardedRunQueue::LocalDepth(int shard) const {
+  size_t depth = overflow_.Size();
+  if (shard >= 0 && shard < shard_count_) {
+    depth += ShardDepth(shard);
+  }
+  return depth;
+}
+
+size_t ShardedRunQueue::ShardDepth(int shard) const {
+  const Shard& sh = shards_[shard];
+  return sh.queue.Size() +
+         (sh.box.load(std::memory_order_acquire) != nullptr ? 1 : 0);
 }
 
 }  // namespace sunmt

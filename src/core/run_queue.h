@@ -1,10 +1,28 @@
-// The dispatcher's run queue: 128 priority levels, FIFO within a level, O(1)
-// highest-priority dispatch via a bitmap. Shared by all pool LWPs in the process
-// (bound threads never pass through it — their LWP runs only them).
+// The dispatcher's run queues.
 //
 // Per the paper, thread priority is >= 0 and "increasing the specified priority
-// gives increasing scheduling priority"; priorities influence which thread an LWP
-// picks next but scheduling between threads of equal priority is FIFO.
+// gives increasing scheduling priority"; priorities influence which thread an
+// LWP picks next but scheduling between threads of equal priority is FIFO.
+//
+// Two layers live here:
+//
+//   * `RunQueue` — one spinlocked priority queue: 128 levels, FIFO within a
+//     level, O(1) highest-priority dispatch via a bitmap. This is the building
+//     block (and what the scheduler model tests exercise directly).
+//   * `ShardedRunQueue` — the process dispatch structure: one `RunQueue` shard
+//     plus a one-slot LIFO "next" box per pool LWP, and a global overflow
+//     `RunQueue` that keeps strict priority semantics for high-priority work
+//     and for enqueues that have no live shard to go to. Idle LWPs steal half
+//     a victim shard (randomized victim order, highest-priority-first).
+//
+// Membership protocol: a runnable thread records which container holds it in
+// `Tcb::queued_where` (a shard index, kOverflowTag, a box code, kTransit while
+// a stealer carries it, or kNotQueued). The field is written only while
+// holding the owning container's lock (or via the box CAS), so a remover can
+// chase the thread: read queued_where, lock that container, re-verify, remove.
+// Without this, removing a TCB that a stealer has since moved would corrupt
+// the bitmap/size of the wrong shard — IntrusiveList::TryRemove only checks
+// linkage, not which list the node is linked into.
 
 #ifndef SUNMT_SRC_CORE_RUN_QUEUE_H_
 #define SUNMT_SRC_CORE_RUN_QUEUE_H_
@@ -12,6 +30,7 @@
 #include <cstdint>
 
 #include "src/core/tcb.h"
+#include "src/stats/stats.h"
 #include "src/util/spinlock.h"
 
 namespace sunmt {
@@ -21,36 +40,202 @@ class RunQueue {
   static constexpr int kLevels = 128;
   static constexpr int kMaxPriority = kLevels - 1;
 
-  RunQueue() = default;
+  // Tag stamped into Tcb::queued_where while a thread sits in this queue.
+  // Standalone queues (unit tests, the model checker) use the default.
+  static constexpr int kStandaloneTag = -1000;
+
+  explicit RunQueue(int tag = kStandaloneTag) : tag_(tag) {}
   RunQueue(const RunQueue&) = delete;
   RunQueue& operator=(const RunQueue&) = delete;
+
+  // Must be called before the queue is shared (ShardedRunQueue::Init).
+  void SetTag(int tag) { tag_ = tag; }
 
   // Enqueues at the thread's current priority (clamped to [0, kMaxPriority]).
   void Push(Tcb* tcb);
 
-  // Enqueues at the front of its priority level (used for preempted threads).
+  // Enqueues at the front of its priority level (used for preempted threads
+  // and for threads displaced from a shard's next box).
   void PushFront(Tcb* tcb);
+
+  // Enqueues a batch (stolen threads) under one lock acquisition.
+  void PushBulk(Tcb* const* tcbs, size_t n);
 
   // Dequeues the highest-priority thread, or nullptr if empty.
   Tcb* Pop();
 
-  // Removes a specific queued thread (thread_stop of a runnable thread).
-  // Returns false if the thread was not on the queue.
+  // Removes a specific queued thread (thread_stop / thread_setprio of a
+  // runnable thread). Returns false if the thread is not in *this* queue —
+  // verified against Tcb::queued_where under the lock, so a concurrent steal
+  // that moved the thread elsewhere cannot corrupt this queue.
   bool Remove(Tcb* tcb);
+
+  // Pops up to max_out threads, highest-priority-first (at most half the
+  // queue, at least one if nonempty). The popped threads are stamped
+  // kTcbInTransit; the caller must re-enqueue or dispatch them. Returns the
+  // number written to out.
+  size_t PopHalfInto(Tcb** out, size_t max_out);
 
   bool Empty() const { return size_.load(std::memory_order_acquire) == 0; }
   size_t Size() const { return size_.load(std::memory_order_acquire); }
+
+  // Highest occupied priority level, -1 if empty. Advisory (relaxed): used to
+  // decide whether the overflow queue outranks local work; races resolve to a
+  // harmless extra (or missed) overflow check, never to a lost thread.
+  int TopPriority() const { return top_.load(std::memory_order_relaxed); }
 
  private:
   static int ClampPriority(int prio);
   void SetBit(int level) { bitmap_[level / 64] |= (uint64_t{1} << (level % 64)); }
   void ClearBit(int level) { bitmap_[level / 64] &= ~(uint64_t{1} << (level % 64)); }
   int HighestLevel() const;
+  void Lock() const;          // instrumented: records kRunQueueLockWait
+  void PushLocked(Tcb* tcb, bool front);
+  Tcb* PopLocked();
 
   mutable SpinLock lock_;
+  int tag_;
   uint64_t bitmap_[2] = {0, 0};
   SleepQueue levels_[kLevels];
   std::atomic<size_t> size_{0};
+  std::atomic<int> top_{-1};
+};
+
+// The sharded process dispatch structure. Owned by the Runtime; every pool LWP
+// is attached to one shard (round-robin; with more LWPs than kMaxShards,
+// shards are shared). All methods are thread-safe.
+class ShardedRunQueue {
+ public:
+  static constexpr int kMaxShards = 64;
+  // Max threads moved per steal (half the victim, capped).
+  static constexpr int kStealBatch = 16;
+  // Priorities strictly above this level go to the global overflow queue so
+  // the highest-priority runnable thread is never stranded in an unexamined
+  // shard. kLevels/2 is the adopted-main / default priority, so ordinary work
+  // stays sharded and anything explicitly boosted above it is dispatched with
+  // the paper's strict global priority order.
+  static constexpr int kSharedPriority = RunQueue::kLevels / 2;
+
+  // Tag values for Tcb::queued_where (shard queues use their index 0..63).
+  static constexpr int kOverflowTag = 1000;
+  static constexpr int kBoxTagBase = 1 << 16;  // box of shard s = kBoxTagBase+s
+
+  ShardedRunQueue() : overflow_(kOverflowTag) {}
+  ShardedRunQueue(const ShardedRunQueue&) = delete;
+  ShardedRunQueue& operator=(const ShardedRunQueue&) = delete;
+
+  // Sizes the shard array. Called once by the Runtime before any pool LWP
+  // exists; `shards` is clamped to [1, kMaxShards].
+  void Init(int shards);
+  int shard_count() const { return shard_count_; }
+
+  // Picks the shard for a newly spawned pool LWP: the lowest-index shard with
+  // the fewest attached LWPs. Keeps live shards compact at the front of the
+  // array so scans (stealing, placement probes) only touch shard_limit()
+  // entries, not kMaxShards.
+  int PickSpawnShard() const;
+
+  // Live-LWP tracking: placement only targets shards some pool LWP is
+  // dispatching from; when the last LWP of a shard retires the shard is
+  // drained into the overflow queue so nothing is stranded.
+  void AttachLwp(int shard);
+  void DetachLwp(int shard);
+
+  // One past the highest shard index ever attached (monotone). All scans are
+  // bounded by this instead of kMaxShards.
+  int shard_limit() const { return shard_limit_.load(std::memory_order_acquire); }
+
+  // Places a runnable thread. waker_shard is the shard of the enqueuing pool
+  // LWP (-1 if the enqueuer is not a pool LWP). With wake_affinity the thread
+  // is put in the waker's next box (displacing any occupant to the front of
+  // that shard's queue); without it (yield/preempt requeue, setprio) it goes
+  // to the back of a shard queue. High-priority threads always take the
+  // overflow queue.
+  //
+  // Returns true if an idle LWP should be woken for this thread. False only
+  // for a pure next-box placement: the waker's own LWP is awake (it is
+  // executing the wake) and drains its box at its next dispatch, so waking
+  // another LWP would just make it race the owner for the box. The watchdog
+  // backstops the case where the owner runs without reaching a dispatch.
+  bool Enqueue(Tcb* tcb, int waker_shard, bool wake_affinity);
+
+  // Dispatch for the LWP attached to `shard`: next box, local queue, and the
+  // overflow queue, highest priority wins (with a periodic overflow check at
+  // equal priority so shared work cannot starve behind a busy shard).
+  Tcb* PopLocal(int shard);
+
+  // Steal for an otherwise-idle LWP: scan other shards in randomized order,
+  // take half of the first nonempty victim's queue (highest-priority-first),
+  // keep the best thread to run and file the rest in the thief's shard. Falls
+  // back to raiding another shard's next box. Returns nullptr if nothing to
+  // steal anywhere.
+  Tcb* Steal(int thief_shard);
+
+  // Removes a queued thread wherever it currently is (chasing concurrent
+  // steals). Returns false if the thread is not queued.
+  bool Remove(Tcb* tcb);
+
+  // True when no thread is queued anywhere (shards, boxes, overflow). One
+  // atomic load: total_ counts every queued thread, maintained at the
+  // Enqueue/PopLocal/Steal/Remove boundaries (internal moves are net zero).
+  bool Empty() const { return total_.load(std::memory_order_acquire) == 0; }
+  size_t Size() const { return total_.load(std::memory_order_acquire); }
+
+  // Work visible to `shard` without stealing: its box, its queue, overflow.
+  // Advisory — used by the SafePoint/Yield fast paths and the idle recheck.
+  bool HasLocalWork(int shard) const;
+
+  // Work an additional dispatcher could usefully take: shard queues and the
+  // overflow queue, NOT next boxes (those are affine to their owner LWP).
+  // Drives the chain-wake decision in Runtime::MaybeWakeMore.
+  bool HasStealableWork() const;
+
+  // Queue depth the dispatching LWP is responsible for (shard + overflow),
+  // sampled for the kRunQueueDepth histogram.
+  size_t LocalDepth(int shard) const;
+  size_t ShardDepth(int shard) const;
+  size_t OverflowDepth() const { return overflow_.Size(); }
+  int LiveLwps(int shard) const {
+    return shards_[shard].live_lwps.load(std::memory_order_relaxed);
+  }
+
+  // Counters (introspection; see SchedStatsSnapshot).
+  uint64_t Steals() const { return steals_.Load(); }
+  uint64_t StolenThreads() const { return stolen_threads_.Load(); }
+  uint64_t BoxWakes() const { return box_wakes_.Load(); }
+  uint64_t OverflowEnqueues() const { return overflow_enqueues_.Load(); }
+
+ private:
+  struct alignas(64) Shard {
+    RunQueue queue;
+    // One-slot LIFO "next" box: the most recently woken-with-affinity thread,
+    // dispatched ahead of equal-priority queue work to keep the wake-to-run
+    // path on the waker's LWP (warm cache, no shard lock).
+    std::atomic<Tcb*> box{nullptr};
+    std::atomic<int> live_lwps{0};
+    // Dispatch counter driving the periodic equal-priority overflow check.
+    std::atomic<uint32_t> ticks{0};
+  };
+
+  // Takes the box occupant, stamping it kTcbNotQueued. nullptr if empty.
+  Tcb* TakeBox(Shard& shard);
+  Tcb* PopLocalInternal(int shard);
+  Tcb* StealInternal(int thief_shard);
+  bool RemoveInternal(Tcb* tcb);
+  // Moves everything in shard s (queue + box) to the overflow queue.
+  void DrainShardToOverflow(int s);
+  int PickLeastLoaded(uint64_t seed_mix) const;
+
+  Shard shards_[kMaxShards];
+  RunQueue overflow_;
+  int shard_count_ = 1;
+  std::atomic<int> shard_limit_{0};
+  std::atomic<size_t> total_{0};
+
+  ShardedCounter steals_;           // successful steal operations
+  ShardedCounter stolen_threads_;   // threads moved by steals
+  ShardedCounter box_wakes_;        // wake-affinity box placements
+  ShardedCounter overflow_enqueues_;
 };
 
 }  // namespace sunmt

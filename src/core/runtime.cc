@@ -152,6 +152,7 @@ Runtime::Runtime() {
   if (config_.max_pool_lwps <= 0) {
     config_.max_pool_lwps = std::max(64, 4 * OnlineCpus());
   }
+  queues_.Init(config_.max_pool_lwps);
   g_initialized.store(true, std::memory_order_release);
   if (config_.preempt_timeslice_ns > 0) {
     Lwp::SetPreemptTimeslice(config_.preempt_timeslice_ns);
@@ -169,6 +170,8 @@ Runtime::Runtime() {
 void Runtime::SpawnPoolLwpLocked() {
   Lwp* lwp = new Lwp(next_lwp_id_.fetch_add(1, std::memory_order_relaxed));
   lwp->pool = this;
+  lwp->sched_shard = queues_.PickSpawnShard();
+  queues_.AttachLwp(lwp->sched_shard);
   pool_lwps_.push_back(lwp);
   pool_size_.fetch_add(1, std::memory_order_release);
   lwp->Start(&sched::PoolLwpMain, this);
@@ -222,24 +225,82 @@ void Runtime::ShrinkPoolLocked(int target) {
 }
 
 void Runtime::NotifyWork() {
+  // Fast path: nobody is idle, nothing to wake (every busy LWP rechecks the
+  // queues before parking, so the enqueue is already visible to them).
+  if (idle_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  // Single-waker throttle: if a wake is already in flight, this transition
+  // rides on it — the woken LWP chains another wake (MaybeWakeMore) if it
+  // finds more work than it can run. This is what stops a burst of N wakes
+  // from futex-thundering every parked LWP.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    GlobalSchedStats().notify_throttled.Inc();
+    return;
+  }
   Lwp* idle = nullptr;
   {
     SpinLockGuard guard(idle_lock_);
     idle = idle_lwps_.PopFront();
+    if (idle != nullptr) {
+      idle_count_.fetch_sub(1, std::memory_order_release);
+    }
   }
   if (idle != nullptr) {
+    GlobalSchedStats().notify_wakes.Inc();
     idle->Unpark();
+  } else {
+    // The idle LWP left on its own between our check and the pop; nothing to
+    // wake, so clear the flag instead of leaving a phantom wake in flight.
+    wake_pending_.store(false, std::memory_order_release);
+  }
+}
+
+void Runtime::MaybeWakeMore() {
+  if (idle_count_.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  // Chain a wake only for backlog another dispatcher could take — shard
+  // queues and overflow, not next boxes (those belong to their owner LWP;
+  // waking someone for a box just makes it race the owner).
+  if (queues_.HasStealableWork()) {
+    NotifyWork();
   }
 }
 
 void Runtime::EnterIdle(Lwp* lwp) {
   SpinLockGuard guard(idle_lock_);
   idle_lwps_.PushBack(lwp);
+  idle_count_.fetch_add(1, std::memory_order_release);
 }
 
 void Runtime::ExitIdle(Lwp* lwp) {
-  SpinLockGuard guard(idle_lock_);
-  idle_lwps_.TryRemove(lwp);
+  {
+    SpinLockGuard guard(idle_lock_);
+    if (idle_lwps_.TryRemove(lwp)) {
+      idle_count_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  // This LWP is awake and about to look for work: it absorbs any wake that
+  // was in flight to it, so further NotifyWork calls may wake someone else.
+  wake_pending_.store(false, std::memory_order_release);
+}
+
+void Runtime::EnqueueRunnable(Tcb* tcb, bool wake_affinity) {
+  int waker_shard = -1;
+  Lwp* cur = Lwp::Current();
+  if (cur != nullptr && cur->pool == this) {
+    waker_shard = cur->sched_shard;
+  }
+  if (queues_.Enqueue(tcb, waker_shard, wake_affinity)) {
+    NotifyWork();
+  }
+}
+
+void Runtime::RequeueFromDispatch(Tcb* tcb) {
+  Lwp* cur = Lwp::Current();
+  int shard = (cur != nullptr && cur->pool == this) ? cur->sched_shard : -1;
+  queues_.Enqueue(tcb, shard, /*wake_affinity=*/false);
 }
 
 Lwp* Runtime::SpawnBoundLwp(Tcb* tcb) {
@@ -261,8 +322,14 @@ void Runtime::RetireLwp(Lwp* lwp, bool was_pool) {
       }
     }
     ExitIdle(lwp);
+    // Release this LWP's shard; the last LWP out drains any queued threads
+    // into the overflow queue so nothing is stranded in an unserved shard.
+    if (lwp->sched_shard >= 0) {
+      queues_.DetachLwp(lwp->sched_shard);
+      lwp->sched_shard = -1;
+    }
     // If work remains queued, make sure someone else picks it up.
-    if (!run_queue_.Empty()) {
+    if (!queues_.Empty()) {
       NotifyWork();
     }
   }
@@ -428,10 +495,17 @@ bool Runtime::AllPoolLwpsIndefinitelyBlocked() {
 
 void Runtime::WatchdogTick() {
   ReapDeadLwps();
-  if (!config_.auto_grow) {
+  if (queues_.Empty()) {
     return;
   }
-  if (run_queue_.Empty()) {
+  // Backstop for the no-wake next-box placement: if a boxed (or any queued)
+  // thread is still waiting a whole watchdog period later while LWPs sit
+  // parked — e.g. its owner LWP is running a thread that never reaches a
+  // dispatch — wake one. The woken LWP raids the box via Steal.
+  if (idle_count_.load(std::memory_order_acquire) > 0) {
+    NotifyWork();
+  }
+  if (!config_.auto_grow) {
     return;
   }
   SpinLockGuard guard(pool_lock_);

@@ -35,6 +35,8 @@ struct SchedStats {
   ShardedCounter adoptions;        // foreign kernel threads adopted
   ShardedCounter net_parks;        // threads parked on fd readiness (src/net)
   ShardedCounter net_wakes;        // readiness/cancel wakes of parked threads
+  ShardedCounter notify_wakes;     // NotifyWork unparked an idle LWP
+  ShardedCounter notify_throttled; // NotifyWork suppressed by the pending flag
 };
 
 SchedStats& GlobalSchedStats();
@@ -81,8 +83,19 @@ class Runtime {
   using ForkChildHandler = void (*)();
   static void RegisterForkChildHandler(ForkChildHandler handler);
 
-  // ---- Run queue & pool --------------------------------------------------
-  RunQueue& run_queue() { return run_queue_; }
+  // ---- Run queues & pool --------------------------------------------------
+  ShardedRunQueue& queues() { return queues_; }
+
+  // Places a runnable unbound thread and wakes a dispatcher if one is idle.
+  // wake_affinity: true for genuine wakes (the thread prefers the waker's
+  // next box), false for requeues (yield/preempt/setprio) which go to the
+  // back of a shard queue.
+  void EnqueueRunnable(Tcb* tcb, bool wake_affinity);
+
+  // Requeue from an LWP dispatch loop (yield/preempt commit). Never wakes:
+  // the calling loop pops next immediately and chains wakes for any backlog
+  // via MaybeWakeMore.
+  void RequeueFromDispatch(Tcb* tcb);
 
   // thread_setconcurrency(): sets the unbound-thread concurrency level (bound
   // LWPs excluded, per the paper). n == 0 restores automatic mode. Returns 0.
@@ -97,8 +110,17 @@ class Runtime {
     return sigwaiting_count_.load(std::memory_order_relaxed);
   }
 
-  // Unparks an idle pool LWP, if any (called after enqueuing runnable work).
+  // Unparks at most one idle pool LWP per work->idle state transition: a
+  // burst of N enqueues wakes one LWP (the rest are suppressed by the
+  // wake-pending flag); the woken LWP chains further wakes if it finds more
+  // work than it can run (see MaybeWakeMore). Cheap when nobody is idle — one
+  // relaxed load, no lock.
   void NotifyWork();
+
+  // Called by a dispatcher that just took work while more remains queued:
+  // wakes another idle LWP so a burst drains with one wake per dispatcher
+  // instead of one wake per enqueue.
+  void MaybeWakeMore();
 
   // Idle protocol for pool LWPs (see PoolLwpMain).
   void EnterIdle(Lwp* lwp);
@@ -184,7 +206,7 @@ class Runtime {
   void WakeOneWaiterLocked(ThreadId exited_id);
 
   RuntimeConfig config_;
-  RunQueue run_queue_;
+  ShardedRunQueue queues_;
 
   mutable SpinLock pool_lock_;
   std::vector<Lwp*> pool_lwps_;
@@ -194,6 +216,10 @@ class Runtime {
 
   SpinLock idle_lock_;
   IntrusiveList<Lwp, &Lwp::pool_node> idle_lwps_;
+  // Fast-path gate for NotifyWork: number of LWPs on idle_lwps_ (maintained
+  // under idle_lock_, read lock-free) and the single-waker throttle flag.
+  std::atomic<int> idle_count_{0};
+  std::atomic<bool> wake_pending_{false};
 
   SpinLock registry_lock_;
   IntrusiveList<Tcb, &Tcb::registry_node> threads_;

@@ -60,9 +60,10 @@ void RunCommit(SwitchCommit* commit) {
       if (Stats::Enabled()) {
         prev->runnable_since_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
       }
-      Runtime& rt = Runtime::Get();
-      rt.run_queue().Push(prev);
-      rt.NotifyWork();
+      // Requeue (no wake affinity): behind equal-priority peers, normally in
+      // the shard of the LWP it just ran on. RunCommit runs on the dispatch
+      // stack, so this LWP pops again right away — no wake needed.
+      Runtime::Get().RequeueFromDispatch(prev);
       break;
     }
     case CommitKind::kBlock: {
@@ -177,12 +178,17 @@ void SafePoint() {
     StopSelf();
   }
   // Time-slice preemption: requeue behind equal-priority peers. Bound threads
-  // own their LWP, so the host scheduler handles their fairness.
+  // own their LWP, so the host scheduler handles their fairness — check
+  // IsBound() before the exchange so a bound thread never consumes (or acts
+  // on) a preempt flag. (The timeslice is not armed on bound LWPs either; this
+  // guards against a flag left over from pool dispatches on the same LWP.)
   Lwp* lwp = self->lwp;
-  if (lwp != nullptr && lwp->preempt_pending.exchange(false, std::memory_order_acq_rel) &&
-      !self->IsBound()) {
+  if (lwp != nullptr && !self->IsBound() &&
+      lwp->preempt_pending.exchange(false, std::memory_order_acq_rel)) {
     Runtime& rt = Runtime::Get();
-    if (!rt.run_queue().Empty()) {
+    // Only give up the LWP if it has other work visible without stealing:
+    // the local shard (queue + next box) or the shared overflow queue.
+    if (rt.queues().HasLocalWork(lwp->sched_shard)) {
       GlobalSchedStats().preemptions.Inc();
       self->preempt_count.fetch_add(1, std::memory_order_relaxed);
       Trace::Record(TraceEvent::kPreempt, self->id, 0);
@@ -210,7 +216,9 @@ void Yield() {
     return;
   }
   Runtime& rt = Runtime::Get();
-  if (rt.run_queue().Empty()) {
+  // Fast path: nothing this LWP could run instead (local shard + overflow are
+  // empty) — keep running without touching any shared lock.
+  if (!rt.queues().HasLocalWork(self->lwp->sched_shard)) {
     return;
   }
   self->yield_count.fetch_add(1, std::memory_order_relaxed);
@@ -305,9 +313,8 @@ void MakeRunnable(Tcb* tcb) {
     tcb->bound_lwp->Unpark();
     return;
   }
-  Runtime& rt = Runtime::Get();
-  rt.run_queue().Push(tcb);
-  rt.NotifyWork();
+  // Genuine wake: prefer the waker's next box (wake affinity).
+  Runtime::Get().EnqueueRunnable(tcb, /*wake_affinity=*/true);
 }
 
 void RunThread(Lwp* lwp, Tcb* tcb) {
@@ -319,16 +326,22 @@ void RunThread(Lwp* lwp, Tcb* tcb) {
     if (since != 0) {
       Stats::RecordNs(LatencyStat::kDispatchLatency, MonotonicNowNs() - since);
     }
+    // Depth this dispatcher is responsible for: its shard plus the overflow.
     Stats::RecordValue(LatencyStat::kRunQueueDepth,
-                       Runtime::Get().run_queue().Size());
+                       Runtime::Get().queues().LocalDepth(lwp->sched_shard));
   }
   lwp->current_thread = tcb;
+  if (lwp->sched_shard >= 0) {
+    tcb->last_shard = lwp->sched_shard;  // wake affinity for the next block/wake
+  }
   {
     SpinLockGuard guard(tcb->state_lock);
     tcb->lwp = lwp;
     tcb->state.store(ThreadState::kRunning, std::memory_order_release);
   }
-  if (Lwp::PreemptTimeslice() > 0) {
+  // Bound threads own their LWP and are never package-preempted; arming the
+  // timeslice would only leave a stale preempt_pending flag behind.
+  if (Lwp::PreemptTimeslice() > 0 && !tcb->IsBound()) {
     lwp->MarkDispatch(ThreadCpuNowNs());
   }
   void* ret = lwp->sched_ctx.SwitchTo(tcb->ctx, tcb);
@@ -346,18 +359,31 @@ void ThreadTrampoline(void* arg) {
 
 void PoolLwpMain(Lwp* self, void* arg) {
   auto* rt = static_cast<Runtime*>(arg);
+  int shard = self->sched_shard;
   for (;;) {
     if (self->retire.load(std::memory_order_acquire)) {
       break;
     }
-    Tcb* next = rt->run_queue().Pop();
+    // Dispatch order: own next box / shard queue / overflow, then steal from
+    // the other shards. Only a dispatcher with no local work pays for a scan.
+    Tcb* next = rt->queues().PopLocal(shard);
+    if (next == nullptr) {
+      next = rt->queues().Steal(shard);
+    }
     if (next != nullptr) {
+      // Chain the wake protocol: if work remains while LWPs are parked, wake
+      // one more before burying ourselves in RunThread.
+      rt->MaybeWakeMore();
       RunThread(self, next);
       continue;
     }
     // Idle protocol: register, re-check for work that raced in, then park.
+    // The recheck deliberately ignores other shards' next boxes: their owner
+    // LWPs drain them (the watchdog backstops a non-dispatching owner), and
+    // bouncing here to raid a box would just migrate an affine wake.
     rt->EnterIdle(self);
-    if (!rt->run_queue().Empty() || self->retire.load(std::memory_order_acquire)) {
+    if (rt->queues().HasLocalWork(shard) || rt->queues().HasStealableWork() ||
+        self->retire.load(std::memory_order_acquire)) {
       rt->ExitIdle(self);
       continue;
     }

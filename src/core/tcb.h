@@ -26,6 +26,10 @@ class Lwp;
 
 using ThreadId = thread_id_t;
 
+// Sentinels for Tcb::queued_where (see run_queue.h for the full tag space).
+inline constexpr int kTcbNotQueued = -1;  // not in any dispatch container
+inline constexpr int kTcbInTransit = -2;  // popped by a stealer, being re-filed
+
 enum class ThreadState : uint8_t {
   kEmbryo,    // being constructed, not yet dispatchable
   kRunnable,  // on the run queue (unbound) or wake-pending (bound)
@@ -58,6 +62,12 @@ struct Tcb {
   std::atomic<ThreadState> state{ThreadState::kEmbryo};
   std::atomic<int> priority{0};
   int queued_priority = 0;   // level this TCB was enqueued at (run queue internal)
+  // Which dispatch container currently holds this runnable thread: a RunQueue
+  // tag (shard index / overflow), a next-box code, kTcbNotQueued, or
+  // kTcbInTransit while a stealer carries it between shards. Written under the
+  // owning container's lock (or by the box CAS protocol); see run_queue.h.
+  std::atomic<int> queued_where{kTcbNotQueued};
+  int last_shard = -1;       // shard of the pool LWP that last ran this thread
   Lwp* lwp = nullptr;        // carrying LWP while kRunning; bound LWP if bound
   Lwp* bound_lwp = nullptr;  // non-null iff permanently bound (THREAD_BIND_LWP)
   bool is_main = false;      // the adopted initial thread

@@ -142,7 +142,7 @@ int thread_stop(thread_id_t thread_id) {
       SpinLockGuard guard(target->state_lock);
       switch (target->state.load(std::memory_order_acquire)) {
         case ThreadState::kRunnable:
-          if (!target->IsBound() && rt.run_queue().Remove(target)) {
+          if (!target->IsBound() && rt.queues().Remove(target)) {
             target->state.store(ThreadState::kStopped, std::memory_order_release);
             done = true;
           } else {
@@ -225,7 +225,7 @@ int thread_priority(thread_id_t thread_id, int priority) {
     old = target->priority.exchange(priority, std::memory_order_relaxed);
     // A queued thread must move to its new priority level.
     if (target->state.load(std::memory_order_acquire) == ThreadState::kRunnable &&
-        !target->IsBound() && rt.run_queue().Remove(target)) {
+        !target->IsBound() && rt.queues().Remove(target)) {
       requeue = true;
       target_tcb = target;
     }
@@ -234,8 +234,9 @@ int thread_priority(thread_id_t thread_id, int priority) {
     return -1;
   }
   if (requeue) {
-    rt.run_queue().Push(target_tcb);
-    rt.NotifyWork();
+    // Re-placed at the new level (no wake affinity — this is a requeue, and a
+    // raised priority may route it to the shared overflow queue).
+    rt.EnqueueRunnable(target_tcb, /*wake_affinity=*/false);
   }
   return old;
 }

@@ -302,6 +302,15 @@ std::string Trace::ExportChromeJson() {
                     r.thread_id, ts - dur, dur);
         break;
       }
+      case TraceEvent::kSteal:
+        // subject = thief shard, arg = (count << 32) | victim shard.
+        AppendEvent(&events,
+                    "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,"
+                    "\"name\":\"STEAL\",\"ts\":%.3f,"
+                    "\"args\":{\"thief\":%" PRIu64 ",\"victim\":%" PRIu64
+                    ",\"count\":%" PRIu64 "}}",
+                    ts, r.thread_id, r.arg & 0xffffffffull, r.arg >> 32);
+        break;
     }
   }
 
@@ -368,6 +377,8 @@ const char* TraceEventName(TraceEvent event) {
       return "NET_PARK";
     case TraceEvent::kNetWake:
       return "NET_WAKE";
+    case TraceEvent::kSteal:
+      return "STEAL";
   }
   return "?";
 }

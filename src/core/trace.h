@@ -43,6 +43,8 @@ enum class TraceEvent : uint8_t {
   kKernelWait,    // LWP returned from a kernel wait    subject = LWP id, arg = wait ns
   kNetPark,       // thread parked on fd readiness      arg = fd
   kNetWake,       // readiness wake delivered           arg = wait ns
+  kSteal,         // work stolen between scheduler shards
+                  //   subject = thief shard, arg = (count << 32) | victim shard
 };
 
 struct TraceRecord {

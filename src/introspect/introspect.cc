@@ -98,7 +98,34 @@ SchedStatsSnapshot SnapshotSchedStats() {
   snap.adoptions = stats.adoptions.Load();
   snap.sigwaiting_events =
       Runtime::IsInitialized() ? Runtime::Get().sigwaiting_count() : 0;
+  snap.notify_wakes = stats.notify_wakes.Load();
+  snap.notify_throttled = stats.notify_throttled.Load();
+  if (Runtime::IsInitialized()) {
+    ShardedRunQueue& queues = Runtime::Get().queues();
+    snap.steals = queues.Steals();
+    snap.stolen_threads = queues.StolenThreads();
+    snap.box_wakes = queues.BoxWakes();
+    snap.overflow_enqueues = queues.OverflowEnqueues();
+  } else {
+    snap.steals = 0;
+    snap.stolen_threads = 0;
+    snap.box_wakes = 0;
+    snap.overflow_enqueues = 0;
+  }
   return snap;
+}
+
+void SnapshotShards(std::vector<ShardSnapshot>* out) {
+  out->clear();
+  if (!Runtime::IsInitialized()) {
+    return;
+  }
+  ShardedRunQueue& queues = Runtime::Get().queues();
+  int limit = queues.shard_limit();
+  for (int s = 0; s < limit; ++s) {
+    out->push_back(
+        ShardSnapshot{s, queues.ShardDepth(s), queues.LiveLwps(s)});
+  }
 }
 
 std::string FormatProcessState() {
@@ -144,6 +171,26 @@ std::string FormatProcessState() {
            stats.threads_created, stats.threads_exited, stats.adoptions,
            stats.sigwaiting_events);
   out += line;
+  snprintf(line, sizeof(line),
+           "RUNQ  steals=%" PRIu64 " stolen=%" PRIu64 " box_wakes=%" PRIu64
+           " overflow=%" PRIu64 " notify_wakes=%" PRIu64
+           " notify_throttled=%" PRIu64 "\n",
+           stats.steals, stats.stolen_threads, stats.box_wakes,
+           stats.overflow_enqueues, stats.notify_wakes, stats.notify_throttled);
+  out += line;
+  std::vector<ShardSnapshot> shards;
+  SnapshotShards(&shards);
+  if (!shards.empty()) {
+    size_t overflow_depth =
+        Runtime::IsInitialized() ? Runtime::Get().queues().OverflowDepth() : 0;
+    out += "      shard depth (depth/lwps):";
+    for (const ShardSnapshot& s : shards) {
+      snprintf(line, sizeof(line), " %d:%zu/%d", s.shard, s.depth, s.live_lwps);
+      out += line;
+    }
+    snprintf(line, sizeof(line), " overflow:%zu\n", overflow_depth);
+    out += line;
+  }
   if (Stats::Enabled()) {
     out += FormatStats();
   }

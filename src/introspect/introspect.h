@@ -52,7 +52,23 @@ struct SchedStatsSnapshot {
   uint64_t threads_exited;
   uint64_t adoptions;
   uint64_t sigwaiting_events;
+  // Sharded-scheduler counters (see ShardedRunQueue / Runtime::NotifyWork).
+  uint64_t steals;             // successful steal operations
+  uint64_t stolen_threads;     // threads migrated by steals
+  uint64_t box_wakes;          // wake-affinity next-box placements
+  uint64_t overflow_enqueues;  // enqueues routed to the shared overflow queue
+  uint64_t notify_wakes;       // NotifyWork unparked an idle LWP
+  uint64_t notify_throttled;   // NotifyWork suppressed by the wake-pending flag
 };
+
+// Per-shard run-queue depth (queue + next box) plus attached-LWP count; one
+// entry per shard in [0, shard_limit). Empty if the runtime never started.
+struct ShardSnapshot {
+  int shard;
+  size_t depth;
+  int live_lwps;
+};
+void SnapshotShards(std::vector<ShardSnapshot>* out);
 
 // Snapshots of all live threads / LWPs. Best-effort consistent (taken under the
 // package's registry locks; states may move immediately after).

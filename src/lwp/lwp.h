@@ -167,6 +167,7 @@ class Lwp {
   Context sched_ctx;               // the LWP's own (dispatch loop) context
   std::atomic<bool> retire{false}; // dispatch loop should exit when idle
   void* pool = nullptr;            // owning LWP pool, if any
+  int sched_shard = -1;            // run-queue shard this pool LWP dispatches from
   ListNode pool_node;              // link in the pool's idle list
 
   // Link in the global LwpRegistry (managed by Add/Remove; public because the

@@ -72,6 +72,8 @@ const char* LatencyStatName(LatencyStat stat) {
       return "dispatch_latency";
     case LatencyStat::kRunQueueDepth:
       return "run_queue_depth";
+    case LatencyStat::kRunQueueLockWait:
+      return "run_queue_lock_wait";
     case LatencyStat::kMutexWaitAdaptive:
       return "mutex_wait_adaptive";
     case LatencyStat::kMutexWaitSpin:

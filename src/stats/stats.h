@@ -51,6 +51,8 @@ inline int ShardIndex() {
 enum class LatencyStat : uint8_t {
   kDispatchLatency,    // wake (MakeRunnable) -> first instruction on an LWP
   kRunQueueDepth,      // run-queue length at dispatch time
+  kRunQueueLockWait,   // contended run-queue spinlock acquisitions (ns); an
+                       // uncontended TryLock records nothing
   kMutexWaitAdaptive,  // contention wait, default/adaptive local mutex
   kMutexWaitSpin,      // contention wait, SYNC_SPIN mutex
   kMutexWaitDebug,     // contention wait, SYNC_DEBUG mutex

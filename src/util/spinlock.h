@@ -1,11 +1,20 @@
-// Test-and-test-and-set spinlock with exponential backoff.
+// Test-and-test-and-set spinlock with exponential backoff and a kernel-yield
+// fallback.
 //
 // Used for the short critical sections inside the threads package itself (run queue,
 // sleep queues, registry). User-facing mutual exclusion is provided by sunmt::Mutex,
 // which blocks threads instead of burning the LWP.
+//
+// The yield fallback matters whenever LWPs outnumber CPUs: the holder of a
+// short critical section can be preempted by the kernel mid-section, and a
+// pure spin then burns the waiter's entire kernel timeslice (milliseconds)
+// before the holder runs again. After a bounded spin the waiter sched_yield()s
+// so the holder gets the CPU back promptly.
 
 #ifndef SUNMT_SRC_UTIL_SPINLOCK_H_
 #define SUNMT_SRC_UTIL_SPINLOCK_H_
+
+#include <sched.h>
 
 #include <atomic>
 #include <cstdint>
@@ -54,8 +63,13 @@ class SpinLock {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
         return;
       }
+      uint32_t spins = 0;
       while (locked_.load(std::memory_order_relaxed)) {
-        backoff.Pause();
+        if (++spins < kSpinsBeforeYield) {
+          backoff.Pause();
+        } else {
+          sched_yield();  // holder likely preempted; give it the CPU
+        }
       }
     }
   }
@@ -67,6 +81,10 @@ class SpinLock {
   bool IsLocked() const { return locked_.load(std::memory_order_relaxed); }
 
  private:
+  // ~30us of backoff-paced spinning before the first yield: longer than any
+  // critical section in the package, shorter than a kernel timeslice.
+  static constexpr uint32_t kSpinsBeforeYield = 64;
+
   std::atomic<bool> locked_{false};
 };
 

@@ -94,6 +94,35 @@ TEST(Preempt, BoundThreadsAreNotPreemptedByThePackage) {
   EXPECT_TRUE(ran.load());
 }
 
+TEST(Preempt, BoundThreadNeverCountedAsPreempted) {
+  // The timeslice is armed in this binary (5ms) and the bound hog below runs
+  // well past it, polling at safe points the whole time. A bound thread owns
+  // its LWP: the package must neither arm the slice for it nor consume a
+  // leftover preempt flag, so the preemption counter cannot move while it is
+  // the only thread burning CPU.
+  uint64_t before = SnapshotSchedStats().preemptions;
+  static std::atomic<bool> ran;
+  ran.store(false);
+  thread_id_t bound = Spawn(
+      [&] {
+        int64_t deadline = MonotonicNowNs() + 30 * 1000 * 1000;  // ~6 slices
+        volatile long sink = 0;
+        while (MonotonicNowNs() < deadline) {
+          for (long i = 0; i < 100000; ++i) {
+            sink = sink + 1;
+          }
+          thread_poll();  // safe point: would consume preempt_pending if buggy
+        }
+        ran.store(true);
+      },
+      THREAD_WAIT | THREAD_BIND_LWP);
+  EXPECT_TRUE(Join(bound));
+  EXPECT_TRUE(ran.load());
+  // Nothing else was runnable (main blocked in Join), so any increment could
+  // only have come from the bound thread being preempted by the package.
+  EXPECT_EQ(SnapshotSchedStats().preemptions, before);
+}
+
 TEST(RlimitExt, ProcessRusageSumsLwps) {
   ProcessUsage usage = process_rusage();
   EXPECT_GE(usage.lwps, 1);

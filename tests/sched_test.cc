@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "src/core/run_queue.h"
@@ -112,6 +113,153 @@ TEST(RunQueue, ManyLevelsInterleaved) {
   for (int i = 127; i >= 0; --i) {
     EXPECT_EQ(q.Pop(), &tcbs[i]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRunQueue (standalone instance; shard tags stamped into Tcbs the same
+// way the runtime's instance does it).
+// ---------------------------------------------------------------------------
+
+TEST(ShardedRunQueue, StrictPriorityViaOverflow) {
+  auto q = std::make_unique<ShardedRunQueue>();
+  q->Init(4);
+  q->AttachLwp(0);
+  q->AttachLwp(1);
+  Tcb normal, boosted;
+  normal.priority.store(60);
+  boosted.priority.store(100);  // above kSharedPriority: routed to overflow
+  EXPECT_TRUE(q->Enqueue(&normal, /*waker_shard=*/0, /*wake_affinity=*/false));
+  EXPECT_TRUE(q->Enqueue(&boosted, /*waker_shard=*/1, /*wake_affinity=*/false));
+  EXPECT_EQ(q->OverflowDepth(), 1u);
+  // Shard 0's dispatcher takes the boosted thread first even though it was
+  // enqueued from another shard: strict global priority order.
+  EXPECT_EQ(q->PopLocal(0), &boosted);
+  EXPECT_EQ(q->PopLocal(0), &normal);
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST(ShardedRunQueue, NextBoxIsLifoAndDisplacesToQueueFront) {
+  auto q = std::make_unique<ShardedRunQueue>();
+  q->Init(2);
+  q->AttachLwp(0);
+  Tcb first, second;
+  first.priority.store(50);
+  second.priority.store(50);
+  // Pure box placement: owner LWP is the waker, no extra wake wanted.
+  EXPECT_FALSE(q->Enqueue(&first, 0, /*wake_affinity=*/true));
+  EXPECT_FALSE(q->Empty());
+  // Second affine wake displaces the first into the queue (stealable), which
+  // does want a wake.
+  EXPECT_TRUE(q->Enqueue(&second, 0, /*wake_affinity=*/true));
+  EXPECT_EQ(q->PopLocal(0), &second);  // LIFO: most recent wake runs next
+  EXPECT_EQ(q->PopLocal(0), &first);   // displaced to the front of its level
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST(ShardedRunQueue, BoxOccupantLosesToHigherPriorityQueueWork) {
+  auto q = std::make_unique<ShardedRunQueue>();
+  q->Init(2);
+  q->AttachLwp(0);
+  Tcb boxed, urgent;
+  boxed.priority.store(40);
+  urgent.priority.store(60);
+  EXPECT_FALSE(q->Enqueue(&boxed, 0, /*wake_affinity=*/true));
+  EXPECT_TRUE(q->Enqueue(&urgent, 0, /*wake_affinity=*/false));
+  EXPECT_EQ(q->PopLocal(0), &urgent);  // queue outranks the box occupant
+  EXPECT_EQ(q->PopLocal(0), &boxed);   // demoted occupant still dispatched
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST(ShardedRunQueue, StealTakesHalfHighestPriorityFirst) {
+  auto q = std::make_unique<ShardedRunQueue>();
+  q->Init(4);
+  q->AttachLwp(0);
+  q->AttachLwp(1);
+  Tcb tcbs[6];
+  for (int i = 0; i < 6; ++i) {
+    tcbs[i].priority.store(10 * (i + 1));  // 10..60, all below kSharedPriority
+    EXPECT_TRUE(q->Enqueue(&tcbs[i], 0, /*wake_affinity=*/false));
+  }
+  EXPECT_EQ(q->ShardDepth(0), 6u);
+  // The thief runs the best stolen thread and files the rest locally.
+  EXPECT_EQ(q->Steal(1), &tcbs[5]);  // priority 60
+  EXPECT_EQ(q->ShardDepth(0), 3u);   // half of six left behind
+  EXPECT_EQ(q->ShardDepth(1), 2u);
+  EXPECT_EQ(q->Steals(), 1u);
+  EXPECT_EQ(q->StolenThreads(), 3u);
+  EXPECT_EQ(q->PopLocal(1), &tcbs[4]);
+  EXPECT_EQ(q->PopLocal(1), &tcbs[3]);
+  EXPECT_EQ(q->PopLocal(0), &tcbs[2]);
+  EXPECT_EQ(q->PopLocal(0), &tcbs[1]);
+  EXPECT_EQ(q->PopLocal(0), &tcbs[0]);
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST(ShardedRunQueue, RemoveChasesQueueAndBox) {
+  auto q = std::make_unique<ShardedRunQueue>();
+  q->Init(2);
+  q->AttachLwp(0);
+  Tcb queued, boxed;
+  queued.priority.store(30);
+  boxed.priority.store(30);
+  EXPECT_TRUE(q->Enqueue(&queued, 0, /*wake_affinity=*/false));
+  EXPECT_FALSE(q->Enqueue(&boxed, 0, /*wake_affinity=*/true));
+  EXPECT_TRUE(q->Remove(&queued));   // shard-queue path
+  EXPECT_FALSE(q->Remove(&queued));  // already gone
+  EXPECT_TRUE(q->Remove(&boxed));    // box CAS path
+  EXPECT_FALSE(q->Remove(&boxed));
+  EXPECT_TRUE(q->Empty());
+  EXPECT_EQ(q->PopLocal(0), nullptr);
+}
+
+TEST(ShardedRunQueue, DetachingLastLwpDrainsShardToOverflow) {
+  auto q = std::make_unique<ShardedRunQueue>();
+  q->Init(2);
+  q->AttachLwp(0);
+  q->AttachLwp(1);
+  Tcb boxed, queued;
+  boxed.priority.store(20);
+  queued.priority.store(20);
+  EXPECT_FALSE(q->Enqueue(&boxed, 0, /*wake_affinity=*/true));
+  EXPECT_TRUE(q->Enqueue(&queued, 0, /*wake_affinity=*/false));
+  q->DetachLwp(0);  // last LWP of shard 0: nothing may be stranded there
+  EXPECT_EQ(q->ShardDepth(0), 0u);
+  EXPECT_EQ(q->OverflowDepth(), 2u);
+  EXPECT_EQ(q->PopLocal(1), &boxed);
+  EXPECT_EQ(q->PopLocal(1), &queued);
+  EXPECT_TRUE(q->Empty());
+  q->AttachLwp(0);  // restore for any later use of the instance
+}
+
+TEST(Setprio, QueuedRunnableThreadIsRequeuedAtNewLevel) {
+  // One pool LWP, occupied by a spinner with no safe points: everything else
+  // stays queued until the spinner is released, so the queue order under a
+  // priority change is observable deterministically.
+  thread_setconcurrency(1);
+  static std::atomic<bool> released;
+  static std::vector<char> order;
+  released.store(false);
+  order.clear();
+  thread_id_t spinner = Spawn(
+      [&] {
+        while (!released.load(std::memory_order_acquire)) {
+        }
+      },
+      THREAD_WAIT);
+  thread_id_t a = Spawn([&] { order.push_back('a'); }, THREAD_WAIT);
+  thread_id_t b = Spawn([&] { order.push_back('b'); }, THREAD_WAIT);
+  // Both queued at the default priority, FIFO a-then-b. Raising b must move
+  // it to the new level (here: the shared overflow queue) — with the old
+  // enqueue-time snapshot it would still run after a.
+  EXPECT_EQ(thread_priority(b, 80), 64);
+  released.store(true, std::memory_order_release);
+  EXPECT_TRUE(Join(spinner));
+  EXPECT_TRUE(Join(a));
+  EXPECT_TRUE(Join(b));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'b');
+  EXPECT_EQ(order[1], 'a');
+  thread_setconcurrency(0);
 }
 
 TEST(Yield, RoundRobinsEqualPriorityThreads) {
