@@ -6,6 +6,10 @@
 #
 # Usage: scripts/bench.sh [extra benchmark args...]
 #   e.g. scripts/bench.sh --benchmark_min_time=0.2
+#
+# Also guards the shakedown injector's zero-cost-when-disabled claim: with
+# SUNMT_INJECT unset, abl_microtask must stay within 1% of the recorded
+# baseline plus the measured run-to-run noise floor (two back-to-back runs).
 
 set -euo pipefail
 
@@ -23,6 +27,12 @@ if [[ ${#benches[@]} -eq 0 ]]; then
   echo "bench.sh: no abl_* binaries under $build/bench" >&2
   exit 1
 fi
+
+# Stash the previously recorded microtask baseline before the loop overwrites
+# it; the injector cost check below compares against it.
+prev_micro="$(mktemp)"
+trap 'rm -f "$prev_micro"' EXIT
+cp "$repo/BENCH_abl_microtask.json" "$prev_micro" 2>/dev/null || true
 
 failed=0
 for bin in "${benches[@]}"; do
@@ -46,5 +56,35 @@ for bin in "${benches[@]}"; do
   printf '%s\n' "${line#BENCH_${name}.json }" > "$repo/BENCH_${name}.json"
   echo "-> BENCH_${name}.json"
 done
+
+# ---- Injector disabled-path cost gate ---------------------------------------
+# The shakedown hooks (src/inject) are compiled into every hand-off path; when
+# SUNMT_INJECT is unset each one must cost a single relaxed load. Compare the
+# fresh abl_microtask numbers against the recorded baseline, allowing 1% plus
+# the noise floor measured from a second back-to-back run.
+micro="$build/bench/abl_microtask"
+if [[ -s "$prev_micro" && -x "$micro" && $failed -eq 0 ]]; then
+  echo "== injector disabled-path cost (abl_microtask vs recorded baseline) =="
+  out2="$("$micro" "$@" 2>&1)" || { echo "$out2"; exit 1; }
+  rerun="$(printf '%s\n' "$out2" | grep -E '^BENCH_abl_microtask\.json ' | tail -1)"
+  python3 - "$prev_micro" "$repo/BENCH_abl_microtask.json" <<PY || failed=1
+import json, math, sys
+prev = json.load(open(sys.argv[1]))["metrics"]
+run1 = json.load(open(sys.argv[2]))["metrics"]
+run2 = json.loads("""${rerun#BENCH_abl_microtask.json }""")["metrics"]
+keys = sorted(set(prev) & set(run1) & set(run2))
+if not keys:
+    sys.exit("no shared metrics between baseline and fresh runs")
+def geomean(vals):
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+noise = geomean([max(run1[k], run2[k]) / min(run1[k], run2[k]) for k in keys]) - 1
+cost = geomean([run1[k] / prev[k] for k in keys]) - 1
+allowed = 0.01 + noise
+print(f"  geomean vs baseline: {cost:+.2%}  (noise floor {noise:.2%}, allowed {allowed:.2%})")
+if cost > allowed:
+    sys.exit(f"injector disabled-path cost {cost:.2%} exceeds {allowed:.2%}")
+print("  injector disabled-path cost within noise")
+PY
+fi
 
 exit $failed

@@ -6,6 +6,11 @@
 #      labels — the netpoller's park/wake path, the trace/stats seqlock, and
 #      the sharded run queue's steal/box migration are the places a data race
 #      would live.
+#   3. Shakedown lane: the `inject` label (seeded perturbation sweep, see
+#      src/inject) in both builds, plus an env-injected run of the net/stats/
+#      sched labels (schedule ops only — fault/short would violate those tests'
+#      exact-timing expectations). A failing sweep prints the seed that
+#      reproduces it; the env lane's banner records its seed in the log.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 
@@ -24,6 +29,25 @@ echo "== tsan: net + stats + sched labels =="
 cmake -S "$repo" -B "$repo/build-tsan" -DSUNMT_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched"
+
+echo
+echo "== shakedown: inject label (plain + tsan) =="
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L inject
+# TSan multiplies every hand-off ~10x; a smaller sweep keeps the lane inside
+# the per-test timeout while still varying the decision streams.
+SUNMT_SHAKEDOWN_SEEDS=16 \
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L inject
+
+echo
+echo "== shakedown: env-injected net/stats/sched labels =="
+# Schedule-perturbation family only: these tests assert exact counts/latencies
+# that injected faults or short transfers would legitimately change.
+inject_seed=$(( $(date +%s) % 10000 ))
+echo "SUNMT_INJECT seed=$inject_seed (replay a failure by exporting the same spec)"
+SUNMT_INJECT="seed=$inject_seed,rate=0.05,ops=yield|delay|steal" \
+  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L "net|stats|sched"
+SUNMT_INJECT="seed=$inject_seed,rate=0.02,ops=yield|delay|steal" \
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched"
 
 echo
 echo "check.sh: all green"

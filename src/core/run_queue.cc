@@ -1,6 +1,7 @@
 #include "src/core/run_queue.h"
 
 #include "src/core/trace.h"
+#include "src/inject/inject.h"
 #include "src/util/clock.h"
 #include "src/util/rng.h"
 
@@ -195,6 +196,9 @@ Tcb* ShardedRunQueue::TakeBox(Shard& shard) {
   if (shard.box.load(std::memory_order_relaxed) == nullptr) {
     return nullptr;
   }
+  // Between the observed-nonempty load and the exchange: the window where an
+  // Enqueue displacement or a box raid can race with the owner's take.
+  inject::Perturb(inject::kBoxCas);
   Tcb* tcb = shard.box.exchange(nullptr, std::memory_order_acquire);
   if (tcb != nullptr) {
     tcb->queued_where.store(kTcbNotQueued, std::memory_order_release);
@@ -258,6 +262,7 @@ int ShardedRunQueue::PickLeastLoaded(uint64_t seed_mix) const {
 }
 
 bool ShardedRunQueue::Enqueue(Tcb* tcb, int waker_shard, bool wake_affinity) {
+  inject::Perturb(inject::kRunQueuePush);
   // Counted before the thread lands anywhere so a parking LWP's Empty()
   // recheck never misses it (transient overcount is harmless).
   total_.fetch_add(1, std::memory_order_acq_rel);
@@ -390,6 +395,7 @@ Tcb* ShardedRunQueue::StealInternal(int thief_shard) {
   if (limit <= 1) {
     return nullptr;
   }
+  inject::Perturb(inject::kRunQueueSteal);
   thread_local SplitMix64 rng(0x9e3779b97f4a7c15ull ^
                               reinterpret_cast<uintptr_t>(&rng));
   int start = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(limit)));

@@ -10,6 +10,7 @@
 #include "src/core/runtime.h"
 #include "src/core/tls_arena.h"
 #include "src/core/trace.h"
+#include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
 #include "src/stats/stats.h"
 #include "src/util/check.h"
@@ -230,6 +231,9 @@ void Yield() {
 void Block(SpinLock* queue_lock) {
   Tcb* self = CurrentTcb();
   SUNMT_CHECK(self != nullptr);
+  // Perturbation lands with the sleep-queue lock still held: widens the
+  // window where a waker has popped this thread but it has not yet switched.
+  inject::Perturb(inject::kSchedBlock);
   SwitchCommit commit{CommitKind::kBlock, self, queue_lock};
   Deschedule(self, &commit);
   SafePoint();
@@ -282,6 +286,9 @@ void ExitCurrent() {
 }
 
 void Wake(Tcb* tcb) {
+  // The waiter is already off its sleep queue but not yet runnable — the
+  // hand-off window every timeout/cancel path has to get right.
+  inject::Perturb(inject::kSchedWake);
   {
     SpinLockGuard guard(tcb->state_lock);
     SUNMT_DCHECK(tcb->state.load(std::memory_order_relaxed) == ThreadState::kBlocked);
@@ -313,8 +320,10 @@ void MakeRunnable(Tcb* tcb) {
     tcb->bound_lwp->Unpark();
     return;
   }
-  // Genuine wake: prefer the waker's next box (wake affinity).
-  Runtime::Get().EnqueueRunnable(tcb, /*wake_affinity=*/true);
+  // Genuine wake: prefer the waker's next box (wake affinity) — unless the
+  // injector diverts it to the shared paths so stealing/overflow churn.
+  bool affinity = !inject::StealBias(inject::kSchedWake);
+  Runtime::Get().EnqueueRunnable(tcb, /*wake_affinity=*/affinity);
 }
 
 void RunThread(Lwp* lwp, Tcb* tcb) {

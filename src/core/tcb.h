@@ -94,12 +94,25 @@ struct Tcb {
   Tcb* wait_next = nullptr;
   uint8_t wait_mode = 0;  // rwlock: reader/writer/upgrader tag
 
-  // Timed-wait support (cv_timedwait): the generation distinguishes successive
-  // blocks of the same thread so a stale timeout cannot wake a later wait;
-  // timed_out reports which waker (signal or timer) got there first. Both are
-  // written under the owning sync object's qlock.
+  // Timed-wait support (cv_timedwait etc.): the generation distinguishes
+  // successive blocks of the same thread so a stale timeout cannot wake a later
+  // wait. Advanced by every WaitqPush — timed or not, on any object — because a
+  // stale fire whose cancel lost the race must not match a later untimed wait
+  // either (see the note on WaitqPush). timed_out reports which waker (signal
+  // or timer) got there first. Both are written under the owning sync object's
+  // qlock.
   uint64_t block_generation = 0;
   bool timed_out = false;
+  // Timeout-fire acknowledgement. A timeout callback whose timer_cancel lost
+  // the race still runs later and still dereferences the sync variable (it must
+  // take the qlock to discover it is stale) — after the wait has returned, when
+  // the caller may already have destroyed the variable. Each fire bumps this
+  // counter once its last access to the sync variable is done; a waiter whose
+  // cancel failed spins until the bump (WaitqAwaitTimeoutFire), so no internal
+  // reference outlives the wait. (Flushed out by the shakedown sweep under
+  // TSan: a stale CvTimeoutFire locked the qlock of a stack-allocated condvar
+  // after its frame had been reused.)
+  std::atomic<uint64_t> timeout_fire_seq{0};
 
   // ---- Netpoller park state (see src/net) ----------------------------------
   // While parked on fd readiness: the fd and direction mask (NET_READABLE /

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "src/inject/inject.h"
 #include "src/util/clock.h"
 
 namespace sunmt {
@@ -48,6 +49,18 @@ size_t RoundUpPow2(size_t n) {
   }
   return p;
 }
+
+// The injector is a leaf library and cannot link against Trace; it calls
+// whatever recorder is registered. Registering here (static init of any binary
+// that links the trace subsystem) closes the loop without an upward edge.
+void RecordInjectEvent(inject::Point p, uint32_t op) {
+  Trace::Record(TraceEvent::kInject, /*thread_id=*/0,
+                (static_cast<uint64_t>(op) << 32) | p);
+}
+
+struct InjectTraceInit {
+  InjectTraceInit() { inject::internal::SetRecordHook(&RecordInjectEvent); }
+} g_inject_trace_init;
 
 }  // namespace
 
@@ -311,6 +324,17 @@ std::string Trace::ExportChromeJson() {
                     ",\"count\":%" PRIu64 "}}",
                     ts, r.thread_id, r.arg & 0xffffffffull, r.arg >> 32);
         break;
+      case TraceEvent::kInject:
+        // arg = (op bit << 32) | inject::Point.
+        AppendEvent(&events,
+                    "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,"
+                    "\"name\":\"INJECT\",\"ts\":%.3f,"
+                    "\"args\":{\"point\":\"%s\",\"op\":%" PRIu64 "}}",
+                    ts,
+                    inject::PointName(
+                        static_cast<inject::Point>(r.arg & 0xff)),
+                    r.arg >> 32);
+        break;
     }
   }
 
@@ -379,6 +403,8 @@ const char* TraceEventName(TraceEvent event) {
       return "NET_WAKE";
     case TraceEvent::kSteal:
       return "STEAL";
+    case TraceEvent::kInject:
+      return "INJECT";
   }
   return "?";
 }

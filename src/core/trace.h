@@ -45,6 +45,8 @@ enum class TraceEvent : uint8_t {
   kNetWake,       // readiness wake delivered           arg = wait ns
   kSteal,         // work stolen between scheduler shards
                   //   subject = thief shard, arg = (count << 32) | victim shard
+  kInject,        // shakedown perturbation/fault delivered
+                  //   arg = (op bit << 32) | inject::Point
 };
 
 struct TraceRecord {

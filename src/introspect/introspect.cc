@@ -5,6 +5,7 @@
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/tcb.h"
+#include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
 
 namespace sunmt {
@@ -189,6 +190,16 @@ std::string FormatProcessState() {
       out += line;
     }
     snprintf(line, sizeof(line), " overflow:%zu\n", overflow_depth);
+    out += line;
+  }
+  inject::Counters inj = inject::Snapshot();
+  if (inj.configured) {
+    snprintf(line, sizeof(line),
+             "INJECT %s seed=%" PRIu64 " rate=%g ops=0x%x yields=%" PRIu64
+             " delays=%" PRIu64 " steal_biases=%" PRIu64 " faults=%" PRIu64
+             " shorts=%" PRIu64 "\n",
+             inj.enabled ? "on" : "off", inj.seed, inj.rate, inj.ops,
+             inj.yields, inj.delays, inj.steal_biases, inj.faults, inj.shorts);
     out += line;
   }
   if (Stats::Enabled()) {

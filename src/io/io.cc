@@ -7,6 +7,7 @@
 
 #include <atomic>
 
+#include "src/inject/inject.h"
 #include "src/lwp/kernel_wait.h"
 #include "src/tls/thread_local.h"
 
@@ -38,6 +39,28 @@ const IoNetRouter* RouterFor(int fd) {
   return nullptr;
 }
 
+// Untimed transfer syscalls retry EINTR: the package delivers its own signals
+// to LWPs (preemption timeslice, SIGWAITING), and a caller of io_read should
+// not see those internals as a spurious interruption. Timed waits (io_poll,
+// io_sleep_ns) deliberately do NOT retry — a blind retry would restart the
+// full timeout. The injector simulates interrupted attempts before the real
+// syscall (bounded, so rate=1 cannot live-lock) to keep these loops honest.
+template <typename Fn>
+auto RetrySyscall(Fn fn) -> decltype(fn()) {
+  int injected = 0;
+  for (;;) {
+    if (injected < 3 && inject::Fault(inject::kIoSyscall)) {
+      ++injected;  // simulated EINTR: skip the syscall and come around again
+      continue;
+    }
+    auto r = fn();
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    return r;
+  }
+}
+
 }  // namespace
 
 int& thread_errno() { return tls_errno.Get(); }
@@ -50,26 +73,30 @@ ssize_t io_read(int fd, void* buf, size_t count) {
   if (const IoNetRouter* router = RouterFor(fd)) {
     return router->read(fd, buf, count);
   }
+  count = inject::ShortTransfer(inject::kIoSyscall, count);
   KernelWaitScope wait(/*indefinite=*/true);
-  return SaveErrno(read(fd, buf, count));
+  return SaveErrno(RetrySyscall([&] { return read(fd, buf, count); }));
 }
 
 ssize_t io_write(int fd, const void* buf, size_t count) {
   if (const IoNetRouter* router = RouterFor(fd)) {
     return router->write(fd, buf, count);
   }
+  count = inject::ShortTransfer(inject::kIoSyscall, count);
   KernelWaitScope wait(/*indefinite=*/true);
-  return SaveErrno(write(fd, buf, count));
+  return SaveErrno(RetrySyscall([&] { return write(fd, buf, count); }));
 }
 
 ssize_t io_pread(int fd, void* buf, size_t count, off_t offset) {
+  count = inject::ShortTransfer(inject::kIoSyscall, count);
   KernelWaitScope wait(/*indefinite=*/false);
-  return SaveErrno(pread(fd, buf, count, offset));
+  return SaveErrno(RetrySyscall([&] { return pread(fd, buf, count, offset); }));
 }
 
 ssize_t io_pwrite(int fd, const void* buf, size_t count, off_t offset) {
+  count = inject::ShortTransfer(inject::kIoSyscall, count);
   KernelWaitScope wait(/*indefinite=*/false);
-  return SaveErrno(pwrite(fd, buf, count, offset));
+  return SaveErrno(RetrySyscall([&] { return pwrite(fd, buf, count, offset); }));
 }
 
 int io_poll(struct pollfd* fds, unsigned long nfds, int timeout_ms) {
@@ -82,7 +109,7 @@ int io_accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen) {
     return router->accept(sockfd, addr, addrlen);
   }
   KernelWaitScope wait(/*indefinite=*/true);
-  return SaveErrno(accept(sockfd, addr, addrlen));
+  return SaveErrno(RetrySyscall([&] { return accept(sockfd, addr, addrlen); }));
 }
 
 int io_accept(int sockfd) { return io_accept(sockfd, nullptr, nullptr); }

@@ -16,6 +16,7 @@
 #define SUNMT_SRC_LWP_KERNEL_WAIT_H_
 
 #include "src/core/trace.h"
+#include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
 #include "src/stats/stats.h"
 #include "src/util/clock.h"
@@ -25,6 +26,7 @@ namespace sunmt {
 class KernelWaitScope {
  public:
   explicit KernelWaitScope(bool indefinite) : lwp_(Lwp::Current()) {
+    inject::Perturb(inject::kKernelWait);
     if (lwp_ != nullptr) {
       lwp_->EnterKernelWait(indefinite);
       if (Stats::Enabled() || Trace::IsEnabled()) {

@@ -36,6 +36,7 @@ MessageQueue* MessageQueue::CreateAt(void* memory, uint32_t max_message_size,
   mutex_init(&queue->ring_lock_, sync_type, nullptr);
   queue->head_ = 0;
   queue->tail_ = 0;
+  queue->depth_.store(0, std::memory_order_relaxed);
   queue->magic_ = kMagic;  // published last for OpenAt validation
   return queue;
 }
@@ -59,6 +60,7 @@ void MessageQueue::Enqueue(const void* data, size_t len) {
   auto len32 = static_cast<uint32_t>(len);
   memcpy(slot, &len32, sizeof(len32));
   memcpy(slot + sizeof(len32), data, len);
+  depth_.fetch_add(1, std::memory_order_release);  // payload published above
   mutex_exit(&ring_lock_);
   sema_v(&queued_items_);
 }
@@ -70,6 +72,7 @@ size_t MessageQueue::Dequeue(void* buf, size_t buf_size) {
   memcpy(&len, slot, sizeof(len));
   size_t copy = len < buf_size ? len : buf_size;
   memcpy(buf, slot + sizeof(len), copy);
+  depth_.fetch_sub(1, std::memory_order_release);
   mutex_exit(&ring_lock_);
   sema_v(&free_slots_);
   return len;
@@ -117,13 +120,6 @@ size_t MessageQueue::RecvTimed(void* buf, size_t buf_size, int64_t timeout_ns) {
     return SIZE_MAX;
   }
   return Dequeue(buf, buf_size);
-}
-
-uint32_t MessageQueue::ApproxDepth() {
-  mutex_enter(&ring_lock_);
-  uint32_t depth = tail_ - head_;
-  mutex_exit(&ring_lock_);
-  return depth;
 }
 
 }  // namespace sunmt

@@ -14,6 +14,7 @@
 #ifndef SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_
 #define SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -56,8 +57,13 @@ class MessageQueue {
 
   uint32_t capacity() const { return capacity_; }
   uint32_t max_message_size() const { return max_message_size_; }
-  // Messages currently queued (racy snapshot).
-  uint32_t ApproxDepth();
+  // Messages currently in the ring: incremented once a Send's payload is fully
+  // written (release, still under ring_lock_), decremented once a Recv has
+  // copied it out. The acquire load means a reader that observes depth >= 1 is
+  // ordered after at least that many completed publications — and whenever the
+  // queue is externally quiesced (no Send/Recv in flight) the value is exact,
+  // which msgq_test asserts. No lock taken.
+  uint32_t Depth() const { return depth_.load(std::memory_order_acquire); }
 
  private:
   MessageQueue() = default;
@@ -81,6 +87,7 @@ class MessageQueue {
   mutex_t ring_lock_;
   uint32_t head_ = 0;  // guarded by ring_lock_
   uint32_t tail_ = 0;
+  std::atomic<uint32_t> depth_{0};  // see Depth(); address-free, shared-safe
   // slots follow in the same allocation
 };
 

@@ -10,6 +10,7 @@
 
 #include <atomic>
 
+#include "src/inject/inject.h"
 #include "src/io/io.h"
 #include "src/net/poller.h"
 #include "src/util/clock.h"
@@ -123,13 +124,23 @@ int net_wait_ready(int fd, uint32_t events, int64_t timeout_ns) {
 ssize_t net_read_deadline(int fd, void* buf, size_t count, int64_t timeout_ns) {
   NetPoller& poller = NetPoller::Get();
   Deadline deadline(timeout_ns);
+  count = inject::ShortTransfer(inject::kNetSyscall, count);
   for (;;) {
-    ssize_t n = read(fd, buf, count);
-    if (n >= 0) {
-      return NetResult(n, 0);
+    // Injected not-ready: skip the syscall and take the WaitReady path, as if
+    // the data arrived just after an EAGAIN — races the deadline against the
+    // park/wake machinery. (Not with timeout 0: a nonblocking try must report
+    // the fd's true state.)
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall)) {
+      ssize_t n = read(fd, buf, count);
+      if (n >= 0) {
+        return NetResult(n, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
     }
-    if (!WouldBlock(errno)) {
-      return NetResult<ssize_t>(-1, errno);
+    if (inject::Fault(inject::kNetWaitReady)) {
+      continue;  // injected spurious readiness: retry the syscall
     }
     int rc = poller.WaitReady(fd, NET_READABLE, deadline.Remaining());
     if (rc == ETIME && timeout_ns == 0) {
@@ -149,13 +160,19 @@ ssize_t net_write_deadline(int fd, const void* buf, size_t count,
                            int64_t timeout_ns) {
   NetPoller& poller = NetPoller::Get();
   Deadline deadline(timeout_ns);
+  count = inject::ShortTransfer(inject::kNetSyscall, count);
   for (;;) {
-    ssize_t n = write(fd, buf, count);
-    if (n >= 0) {
-      return NetResult(n, 0);
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall)) {
+      ssize_t n = write(fd, buf, count);
+      if (n >= 0) {
+        return NetResult(n, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
     }
-    if (!WouldBlock(errno)) {
-      return NetResult<ssize_t>(-1, errno);
+    if (inject::Fault(inject::kNetWaitReady)) {
+      continue;
     }
     int rc = poller.WaitReady(fd, NET_WRITABLE, deadline.Remaining());
     if (rc == ETIME && timeout_ns == 0) {
@@ -176,12 +193,17 @@ int net_accept_deadline(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
   NetPoller& poller = NetPoller::Get();
   Deadline deadline(timeout_ns);
   for (;;) {
-    int fd = accept(sockfd, addr, addrlen);
-    if (fd >= 0) {
-      return NetResult(fd, 0);
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall)) {
+      int fd = accept(sockfd, addr, addrlen);
+      if (fd >= 0) {
+        return NetResult(fd, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult(-1, errno);
+      }
     }
-    if (!WouldBlock(errno)) {
-      return NetResult(-1, errno);
+    if (inject::Fault(inject::kNetWaitReady)) {
+      continue;
     }
     int rc = poller.WaitReady(sockfd, NET_READABLE, deadline.Remaining());
     if (rc == ETIME && timeout_ns == 0) {

@@ -12,6 +12,7 @@
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/trace.h"
+#include "src/inject/inject.h"
 #include "src/lwp/kernel_wait.h"
 #include "src/net/net.h"
 #include "src/stats/stats.h"
@@ -312,16 +313,22 @@ void NetTimeoutFire(void* cookie, uint64_t generation) {
     SpinLockGuard guard(entry->lock);
     NetPoller::WaitQueue& q = writer ? entry->writers : entry->readers;
     // Only touch the TCB if it is still parked here (queued => alive) and this
-    // is still the same wait (generation match).
-    if (WaitqRemove(&q.head, &q.tail, tcb)) {
-      if (tcb->block_generation == generation) {
-        tcb->timed_out = true;
-        to_wake = tcb;
-      } else {
-        WaitqPush(&q.head, &q.tail, tcb);  // stale timer for an earlier wait
-      }
+    // is still the same wait (generation match). Validate before removing: a
+    // stale timer must leave the queue untouched — remove-then-restore would
+    // re-push the current waiter at the tail (losing its FIFO position) and,
+    // worse, the restore's push would advance its block-generation so its own
+    // live timer could never match again.
+    if (WaitqContains(q.head, tcb) && tcb->block_generation == generation) {
+      WaitqRemove(&q.head, &q.tail, tcb);
+      tcb->timed_out = true;
+      to_wake = tcb;
     }
   }
+  // Ack BEFORE the wake: the fire is done with the fd entry (lock released),
+  // and the TCB is alive in both cases — a matched waiter is still parked until
+  // the wake below; a stale fire's waiter is spinning in WaitqAwaitTimeoutFire
+  // for exactly this ack, so the entry cannot be unregistered under us either.
+  tcb->timeout_fire_seq.fetch_add(1, std::memory_order_release);
   if (to_wake != nullptr) {
     sched::WakeFdWaiter(to_wake);
   }
@@ -331,6 +338,10 @@ void NetTimeoutFire(void* cookie, uint64_t generation) {
 
 int NetPoller::WaitReady(int fd, uint32_t events, int64_t timeout_ns) {
   SUNMT_DCHECK(events == NET_READABLE || events == NET_WRITABLE);
+  // Schedule perturbation only: a *spurious* ready here would be illegal for
+  // net_connect (it reads SO_ERROR on 0), so the fault variant lives at the
+  // read/write/accept retry loops instead.
+  inject::Perturb(inject::kNetWaitReady);
   FdEntry* entry = GetEntry(fd);
   if (entry == nullptr) {
     return EBADF;
@@ -359,14 +370,15 @@ int NetPoller::WaitReady(int fd, uint32_t events, int64_t timeout_ns) {
   }
   bool writer = (events == NET_WRITABLE);
   WaitQueue& q = writer ? entry->writers : entry->readers;
-  uint64_t generation = ++self->block_generation;
   self->timed_out = false;
-  WaitqPush(&q.head, &q.tail, self);
+  WaitqPush(&q.head, &q.tail, self);  // advances block_generation
+  uint64_t generation = self->block_generation;
   parked_count_.fetch_add(1, std::memory_order_release);
   // Arm the deadline while still holding the entry lock: the fire path needs
   // the lock too, so it cannot touch a half-enqueued waiter.
   timer_id_t timer = kInvalidTimerId;
   NetTimeoutCtx* ctx = nullptr;
+  uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
   if (timeout_ns > 0) {
     ctx = new NetTimeoutCtx{entry, self, writer};
     timer = timer_arm_callback(timeout_ns, &NetTimeoutFire, ctx, generation);
@@ -381,11 +393,17 @@ int NetPoller::WaitReady(int fd, uint32_t events, int64_t timeout_ns) {
   if (self->timed_out) {
     return ETIME;  // the fire path owns and already freed ctx
   }
-  if (timer != kInvalidTimerId && timer_cancel(timer) == 0) {
-    delete ctx;  // cancelled before firing: the callback will never free it
+  if (timer != kInvalidTimerId) {
+    if (timer_cancel(timer) == 0) {
+      delete ctx;  // cancelled before firing: the callback will never free it
+    } else {
+      // The cancel lost the race: the in-flight callback owns and frees ctx,
+      // sees us gone from the queue — or a mismatched generation — and does
+      // not wake us. But it still locks the fd entry to find that out, so wait
+      // for its ack before returning (after which the fd may be unregistered).
+      WaitqAwaitTimeoutFire(self, fire_seq);
+    }
   }
-  // (A lost cancel race is benign: the in-flight callback sees us gone from
-  // the queue — or a mismatched generation — frees ctx and does not wake us.)
   return self->park_result == kWakeCancelled ? ECANCELED : 0;
 }
 

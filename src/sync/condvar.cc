@@ -32,6 +32,7 @@ void cv_init(condvar_t* cvp, int type, void* arg) {
   cvp->type = static_cast<uint32_t>(type);
   cvp->wait_head = nullptr;
   cvp->wait_tail = nullptr;
+  cvp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
 }
 
 void cv_wait(condvar_t* cvp, mutex_t* mutexp) {

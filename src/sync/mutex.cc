@@ -184,6 +184,7 @@ void mutex_init(mutex_t* mp, int type, void* arg) {
   mp->wait_tail = nullptr;
   mp->owner = nullptr;
   mp->acquired_ns = 0;
+  mp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
 }
 
 void mutex_enter(mutex_t* mp) {

@@ -312,6 +312,7 @@ void rw_init(rwlock_t* rwlp, int type, void* arg) {
   rwlp->wait_tail = nullptr;
   rwlp->waiting_writers = 0;
   rwlp->upgrader = nullptr;
+  rwlp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
 }
 
 void rw_enter(rwlock_t* rwlp, rw_type_t type) {

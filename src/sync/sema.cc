@@ -58,6 +58,11 @@ void sema_init(sema_t* sp, unsigned int count, int type, void* arg) {
   sp->type = static_cast<uint32_t>(type);
   sp->wait_head = nullptr;
   sp->wait_tail = nullptr;
+  // Re-initialization of a previously used variable ("initializing an already
+  // initialized variable is legal but ill-advised"): the storage may carry a
+  // stale locked qlock image — e.g. memcpy'd from a variable caught mid
+  // critical section — which would deadlock the first waiter forever.
+  sp->qlock.Reset();
 }
 
 void sema_p(sema_t* sp) {

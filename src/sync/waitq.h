@@ -7,6 +7,8 @@
 #ifndef SUNMT_SRC_SYNC_WAITQ_H_
 #define SUNMT_SRC_SYNC_WAITQ_H_
 
+#include <sched.h>
+
 #include "src/core/tcb.h"
 #include "src/core/trace.h"
 #include "src/stats/stats.h"
@@ -14,7 +16,16 @@
 
 namespace sunmt {
 
+// Every push is a new wait instance, so it advances the thread's
+// block-generation. Timeout fires validate `generation == block_generation`
+// before touching the queue; bumping on EVERY push — not just timed ones — is
+// load-bearing: a stale fire whose cancel lost the race must not match a later
+// *untimed* wait on the same object. (Flushed out by the shakedown sweep: a
+// stale sema_p_timed fire matched a later plain sema_p on the same semaphore
+// and woke it without a credit — a phantom credit that overwrote an unread
+// message-queue slot.) Timed waiters read block_generation after pushing.
 inline void WaitqPush(Tcb** head, Tcb** tail, Tcb* tcb) {
+  ++tcb->block_generation;
   tcb->wait_next = nullptr;
   if (*tail != nullptr) {
     (*tail)->wait_next = tcb;
@@ -40,6 +51,19 @@ inline Tcb* WaitqPeek(Tcb* head) { return head; }
 
 inline bool WaitqEmpty(const Tcb* head) { return head == nullptr; }
 
+// True if the thread is on the chain. Lets a racing dequeuer (e.g. a timeout
+// fire) validate membership — and, since queued implies alive, safely read the
+// TCB — before deciding to remove: remove-then-restore would re-push at the
+// tail and silently cost the waiter its FIFO hand-off position.
+inline bool WaitqContains(const Tcb* head, const Tcb* tcb) {
+  for (const Tcb* cur = head; cur != nullptr; cur = cur->wait_next) {
+    if (cur == tcb) {
+      return true;
+    }
+  }
+  return false;
+}
+
 // Removes a specific thread from the chain. Returns true if it was present.
 inline bool WaitqRemove(Tcb** head, Tcb** tail, Tcb* tcb) {
   Tcb* prev = nullptr;
@@ -59,6 +83,28 @@ inline bool WaitqRemove(Tcb** head, Tcb** tail, Tcb* tcb) {
     return true;
   }
   return false;
+}
+
+// Waits until the in-flight timeout fire identified by `seq_before` (the value
+// of self->timeout_fire_seq captured before arming the timer) has finished
+// touching the sync variable. Called on the timed-wait return path when
+// timer_cancel fails and the waiter was woken normally: the fire WILL run (or
+// is running) against this waiter's ctx, and it dereferences the sync variable
+// to take its qlock even though it then no-ops — so the waiter must not return
+// (after which the caller may destroy the variable) until the fire acks.
+// At most one fire per wait can be outstanding, because every cancel-failed
+// wait passes through here before the thread can arm another timer.
+// The spin is lock-free on the fire side and bounded by the timer engine's
+// callback backlog; the waiter holds no locks here.
+inline void WaitqAwaitTimeoutFire(Tcb* self, uint64_t seq_before) {
+  int spins = 0;
+  while (self->timeout_fire_seq.load(std::memory_order_acquire) == seq_before) {
+    if (++spins < 64) {
+      CpuRelax();
+    } else {
+      sched_yield();  // fire runs on the timer engine's kernel thread
+    }
+  }
 }
 
 // ---- Contention-wait timing -------------------------------------------------

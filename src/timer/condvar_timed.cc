@@ -37,17 +37,22 @@ void CvTimeoutFire(void* cookie, uint64_t generation) {
   {
     SpinLockGuard guard(cvp->qlock);
     // Only touch the TCB if it is still queued here (queued => alive) and this
-    // is still the same wait (generation match).
-    if (WaitqRemove(&cvp->wait_head, &cvp->wait_tail, tcb)) {
-      if (tcb->block_generation == generation) {
-        tcb->timed_out = true;
-        to_wake = tcb;
-      } else {
-        // Stale timer for an earlier wait: restore the (current) waiter.
-        WaitqPush(&cvp->wait_head, &cvp->wait_tail, tcb);
-      }
+    // is still the same wait (generation match). Both checks come before the
+    // remove: a stale timer for an earlier wait must leave the queue intact —
+    // remove-then-restore would re-push the current waiter at the tail and
+    // silently cost it its FIFO signal position.
+    if (WaitqContains(cvp->wait_head, tcb) &&
+        tcb->block_generation == generation) {
+      WaitqRemove(&cvp->wait_head, &cvp->wait_tail, tcb);
+      tcb->timed_out = true;
+      to_wake = tcb;
     }
   }
+  // Ack BEFORE the wake: the fire is done with the condvar (qlock released),
+  // and a matched waiter cannot run — let alone exit — until the Wake below,
+  // so the TCB is still alive here in both the matched and the stale case
+  // (a stale fire's waiter is spinning in WaitqAwaitTimeoutFire for this ack).
+  tcb->timeout_fire_seq.fetch_add(1, std::memory_order_release);
   if (to_wake != nullptr) {
     sched::Wake(to_wake);
   }
@@ -73,21 +78,28 @@ int cv_timedwait(condvar_t* cvp, mutex_t* mutexp, int64_t timeout_ns) {
 
   Tcb* self = sched::CurrentTcbOrAdopt();
   cvp->qlock.Lock();
-  uint64_t generation = ++self->block_generation;
   self->timed_out = false;
-  WaitqPush(&cvp->wait_head, &cvp->wait_tail, self);
+  WaitqPush(&cvp->wait_head, &cvp->wait_tail, self);  // advances block_generation
+  uint64_t generation = self->block_generation;
   // Arm the timeout while still holding the qlock: the timer cannot fire on a
   // half-enqueued waiter because the fire path needs the qlock too.
+  uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
   auto* ctx = new TimeoutCtx{cvp, self};
   timer_id_t timer = timer_arm_callback(timeout_ns, &CvTimeoutFire, ctx, generation);
   mutex_exit(mutexp);
   sched::Block(&cvp->qlock);  // releases qlock after the context save
   bool timed_out = self->timed_out;
-  if (!timed_out && timer_cancel(timer) == 0) {
-    delete ctx;  // cancelled before firing: the callback will never free it
+  if (!timed_out) {
+    if (timer_cancel(timer) == 0) {
+      delete ctx;  // cancelled before firing: the callback will never free it
+    } else {
+      // The cancel lost the race: the fire owns ctx and will still lock our
+      // qlock (finding us gone from the queue, it does not wake us). The caller
+      // may destroy the condvar the moment we return, so wait for the fire to
+      // ack that it is done touching it.
+      WaitqAwaitTimeoutFire(self, fire_seq);
+    }
   }
-  // (If the cancel lost the race, the fire path owns and frees ctx; it sees us
-  // gone from the queue — or a mismatched generation — and does not wake us.)
   mutex_enter(mutexp);
   return timed_out ? ETIME : 0;
 }

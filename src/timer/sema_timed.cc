@@ -29,15 +29,22 @@ void SemaTimeoutFire(void* cookie, uint64_t generation) {
   Tcb* to_wake = nullptr;
   {
     SpinLockGuard guard(sp->qlock);
-    if (WaitqRemove(&sp->wait_head, &sp->wait_tail, tcb)) {
-      if (tcb->block_generation == generation) {
-        tcb->timed_out = true;
-        to_wake = tcb;
-      } else {
-        WaitqPush(&sp->wait_head, &sp->wait_tail, tcb);  // stale: restore
-      }
+    // Validate before removing: queued => alive (so block_generation is
+    // readable), and a stale timer for an earlier wait must not touch the
+    // queue at all — remove-then-restore would re-push the current waiter at
+    // the tail, silently costing it its FIFO hand-off position.
+    if (WaitqContains(sp->wait_head, tcb) &&
+        tcb->block_generation == generation) {
+      WaitqRemove(&sp->wait_head, &sp->wait_tail, tcb);
+      tcb->timed_out = true;
+      to_wake = tcb;
     }
   }
+  // Ack BEFORE the wake: the fire is done with the semaphore (qlock released),
+  // and the TCB is alive in both cases — a matched waiter is still blocked
+  // until the Wake below; a stale fire's waiter is spinning in
+  // WaitqAwaitTimeoutFire for exactly this ack.
+  tcb->timeout_fire_seq.fetch_add(1, std::memory_order_release);
   if (to_wake != nullptr) {
     sched::Wake(to_wake);
   }
@@ -79,15 +86,22 @@ int sema_p_timed(sema_t* sp, int64_t timeout_ns) {
     sp->qlock.Unlock();
     return 1;
   }
-  uint64_t generation = ++self->block_generation;
   self->timed_out = false;
-  WaitqPush(&sp->wait_head, &sp->wait_tail, self);
+  WaitqPush(&sp->wait_head, &sp->wait_tail, self);  // advances block_generation
+  uint64_t generation = self->block_generation;
+  uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
   auto* ctx = new SemaTimeoutCtx{sp, self};
   timer_id_t timer = timer_arm_callback(timeout_ns, &SemaTimeoutFire, ctx, generation);
   sched::Block(&sp->qlock);  // releases qlock after the context save
   bool timed_out = self->timed_out;
-  if (!timed_out && timer_cancel(timer) == 0) {
-    delete ctx;
+  if (!timed_out) {
+    if (timer_cancel(timer) == 0) {
+      delete ctx;
+    } else {
+      // The fire owns ctx and will still lock our qlock before discovering it
+      // is stale; don't let the caller destroy the semaphore under it.
+      WaitqAwaitTimeoutFire(self, fire_seq);
+    }
   }
   // Timed out: no credit consumed. Woken: sema_v handed the credit directly.
   return timed_out ? 0 : 1;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/core/runtime.h"
+#include "src/inject/inject.h"
 #include "src/signal/signal.h"
 #include "src/sync/sync.h"
 #include "src/util/clock.h"
@@ -76,6 +77,9 @@ void EnsureForkHandler() {
 }
 
 void FireEntry(TimerEntry* entry) {
+  // Delays here race timer delivery against concurrent waker/cancel paths —
+  // the timeout-vs-wake window of the timed sync waits.
+  inject::Perturb(inject::kTimerCallback);
   Engine().fires.fetch_add(1, std::memory_order_relaxed);
   switch (entry->kind) {
     case FireKind::kSignalThread:
@@ -148,20 +152,25 @@ void EngineMain() {
 timer_id_t InsertEntry(TimerEntry* entry) {
   EnsureForkHandler();
   EngineState& engine = Engine();
+  timer_id_t id;
   {
     SpinLockGuard guard(engine.lock);
     if (!engine.thread_started) {
       engine.thread_started = true;
       std::thread(&EngineMain).detach();
     }
-    entry->id = engine.next_id.fetch_add(1, std::memory_order_relaxed);
-    engine.live[entry->id] = entry;
+    id = engine.next_id.fetch_add(1, std::memory_order_relaxed);
+    entry->id = id;
+    engine.live[id] = entry;
     engine.heap.push_back(entry);
     std::push_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
   }
   engine.wakeup.fetch_add(1, std::memory_order_release);
   FutexWake(&engine.wakeup, 1);
-  return entry->id;
+  // Return the local copy: once the lock is dropped the engine thread may pop,
+  // fire, and free a one-shot entry before we get here — `entry` is already
+  // dangling in that window. (Flushed out by the shakedown sweep under TSan.)
+  return id;
 }
 
 // Removes a live entry. Returns it, or nullptr if unknown/in-flight.

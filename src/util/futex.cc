@@ -6,6 +6,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "src/inject/inject.h"
 #include "src/util/check.h"
 
 namespace sunmt {
@@ -27,6 +28,13 @@ int FutexWait(std::atomic<uint32_t>* addr, uint32_t expected, bool shared, int64
     ts.tv_nsec = timeout_ns % 1000000000;
     tsp = &ts;
   }
+  inject::Perturb(inject::kFutexWait);
+  // Simulated spurious wakeup: legal per the futex contract (an unrelated
+  // FUTEX_WAKE can land any time), so every caller already re-checks its
+  // predicate — this exercises those re-check loops.
+  if (inject::Fault(inject::kFutexWait)) {
+    return 0;
+  }
   for (;;) {
     long rc = FutexSyscall(addr, op, expected, tsp);
     if (rc == 0) {
@@ -47,6 +55,7 @@ int FutexWait(std::atomic<uint32_t>* addr, uint32_t expected, bool shared, int64
 }
 
 int FutexWake(std::atomic<uint32_t>* addr, int count, bool shared) {
+  inject::Perturb(inject::kFutexWake);
   int op = FUTEX_WAKE | (shared ? 0 : FUTEX_PRIVATE_FLAG);
   long rc = FutexSyscall(addr, op, static_cast<uint32_t>(count), nullptr);
   if (rc < 0) {

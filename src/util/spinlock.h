@@ -19,6 +19,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/inject/inject.h"
+
 namespace sunmt {
 
 // CPU-relax hint for spin loops.
@@ -58,6 +60,7 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void Lock() {
+    inject::Perturb(inject::kSpinLockAcquire);
     Backoff backoff;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
@@ -76,9 +79,20 @@ class SpinLock {
 
   bool TryLock() { return !locked_.exchange(true, std::memory_order_acquire); }
 
-  void Unlock() { locked_.store(false, std::memory_order_release); }
+  void Unlock() {
+    // Perturbing *before* the releasing store stretches the critical section —
+    // the "holder preempted mid-section" schedule the yield fallback exists for.
+    inject::Perturb(inject::kSpinLockRelease);
+    locked_.store(false, std::memory_order_release);
+  }
 
   bool IsLocked() const { return locked_.load(std::memory_order_relaxed); }
+
+  // Forcibly returns the lock to the released state regardless of history.
+  // Only for re-initialization of storage that may hold a stale lock image
+  // (e.g. sync-variable *_init on a previously used variable); never a
+  // substitute for Unlock().
+  void Reset() { locked_.store(false, std::memory_order_release); }
 
  private:
   // ~30us of backoff-paced spinning before the first yield: longer than any

@@ -72,14 +72,18 @@ TEST(MessageQueue, TruncatingRecvStillReportsFullLength) {
 TEST(MessageQueue, TryOpsReflectFullAndEmpty) {
   MessageQueue* q = MakeLocalQueue(8, 2);
   int v = 1;
+  EXPECT_EQ(q->Depth(), 0u);
   EXPECT_TRUE(q->TrySend(&v, sizeof(v)));
+  EXPECT_EQ(q->Depth(), 1u);  // exact while quiesced, not an approximation
   EXPECT_TRUE(q->TrySend(&v, sizeof(v)));
   EXPECT_FALSE(q->TrySend(&v, sizeof(v)));  // full
-  EXPECT_EQ(q->ApproxDepth(), 2u);
+  EXPECT_EQ(q->Depth(), 2u);
   int out;
   EXPECT_EQ(q->TryRecv(&out, sizeof(out)), sizeof(int));
+  EXPECT_EQ(q->Depth(), 1u);
   EXPECT_EQ(q->TryRecv(&out, sizeof(out)), sizeof(int));
   EXPECT_EQ(q->TryRecv(&out, sizeof(out)), SIZE_MAX);  // empty
+  EXPECT_EQ(q->Depth(), 0u);
 }
 
 TEST(MessageQueue, TimedOpsTimeOut) {
