@@ -37,6 +37,33 @@ void BM_UnboundThreadBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_UnboundThreadBatch)->Arg(1000)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
 
+// Multi-creator variant: state.threads() kernel threads (each adopted as an
+// LWP) create and reap their share of the batch concurrently. Contrasts with
+// the single-creator run above: with the magazine caches and the sharded
+// registry, the creators should scale instead of serializing on global locks.
+void MultiWorker(void* arg) { sunmt::sema_v(static_cast<sunmt::sema_t*>(arg)); }
+
+void BM_UnboundThreadBatchMulti(benchmark::State& state) {
+  const int per = static_cast<int>(state.range(0)) / state.threads();
+  sunmt::sema_t done;  // one reap queue per creator
+  sunmt::sema_init(&done, 0, 0, nullptr);
+  for (auto _ : state) {
+    for (int i = 0; i < per; ++i) {
+      sunmt::thread_create(nullptr, 0, &MultiWorker, &done, 0);
+    }
+    for (int i = 0; i < per; ++i) {
+      sunmt::sema_p(&done);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * per);
+}
+BENCHMARK(BM_UnboundThreadBatchMulti)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StdThreadBatch(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -31,8 +31,10 @@ fi
 # Stash the previously recorded microtask baseline before the loop overwrites
 # it; the injector cost check below compares against it.
 prev_micro="$(mktemp)"
-trap 'rm -f "$prev_micro"' EXIT
+prev_scale="$(mktemp)"
+trap 'rm -f "$prev_micro" "$prev_scale"' EXIT
 cp "$repo/BENCH_abl_microtask.json" "$prev_micro" 2>/dev/null || true
+cp "$repo/BENCH_abl_thread_scale.json" "$prev_scale" 2>/dev/null || true
 
 failed=0
 for bin in "${benches[@]}"; do
@@ -84,6 +86,30 @@ print(f"  geomean vs baseline: {cost:+.2%}  (noise floor {noise:.2%}, allowed {a
 if cost > allowed:
     sys.exit(f"injector disabled-path cost {cost:.2%} exceeds {allowed:.2%}")
 print("  injector disabled-path cost within noise")
+PY
+fi
+
+# ---- Thread-lifecycle regression gate ---------------------------------------
+# The magazine caches + sharded registry carry the thread-scale numbers; fail
+# if the per-thread cost of the 16k batch regresses more than 10% against the
+# recorded baseline.
+if [[ -s "$prev_scale" && -s "$repo/BENCH_abl_thread_scale.json" && $failed -eq 0 ]]; then
+  echo "== thread-lifecycle cost (BM_UnboundThreadBatch/16000 vs recorded baseline) =="
+  python3 - "$prev_scale" "$repo/BENCH_abl_thread_scale.json" <<'PY' || failed=1
+import json, sys
+key = "BM_UnboundThreadBatch/16000_real_ns"
+prev = json.load(open(sys.argv[1]))["metrics"]
+cur = json.load(open(sys.argv[2]))["metrics"]
+if key not in prev or key not in cur:
+    print(f"  {key} missing from baseline or fresh run; skipping gate")
+    sys.exit(0)
+n = 16000
+prev_per, cur_per = prev[key] / n, cur[key] / n
+delta = cur_per / prev_per - 1
+print(f"  per-thread: {prev_per:.0f}ns -> {cur_per:.0f}ns ({delta:+.2%}, allowed +10%)")
+if delta > 0.10:
+    sys.exit(f"thread-lifecycle per-thread cost regressed {delta:.2%} (>10%)")
+print("  thread-lifecycle cost within bounds")
 PY
 fi
 

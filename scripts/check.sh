@@ -2,10 +2,10 @@
 # Tier-1 gate plus the sanitizer pass on the concurrency-heavy subsystems.
 #
 #   1. Regular build + full ctest (the ROADMAP tier-1 command).
-#   2. SUNMT_SANITIZE=thread build, running the `net`, `stats`, and `sched`
-#      labels — the netpoller's park/wake path, the trace/stats seqlock, and
-#      the sharded run queue's steal/box migration are the places a data race
-#      would live.
+#   2. SUNMT_SANITIZE=thread build, running the `net`, `stats`, `sched`, and
+#      `lifecycle` labels — the netpoller's park/wake path, the trace/stats
+#      seqlock, the sharded run queue's steal/box migration, and the magazine
+#      stack cache + sharded registry are the places a data race would live.
 #   3. Shakedown lane: the `inject` label (seeded perturbation sweep, see
 #      src/inject) in both builds, plus an env-injected run of the net/stats/
 #      sched labels (schedule ops only — fault/short would violate those tests'
@@ -25,10 +25,10 @@ cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo
-echo "== tsan: net + stats + sched labels =="
+echo "== tsan: net + stats + sched + lifecycle labels =="
 cmake -S "$repo" -B "$repo/build-tsan" -DSUNMT_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
-ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched"
+ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched|lifecycle"
 
 echo
 echo "== shakedown: inject label (plain + tsan) =="
@@ -39,15 +39,15 @@ SUNMT_SHAKEDOWN_SEEDS=16 \
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L inject
 
 echo
-echo "== shakedown: env-injected net/stats/sched labels =="
+echo "== shakedown: env-injected net/stats/sched/lifecycle labels =="
 # Schedule-perturbation family only: these tests assert exact counts/latencies
 # that injected faults or short transfers would legitimately change.
 inject_seed=$(( $(date +%s) % 10000 ))
 echo "SUNMT_INJECT seed=$inject_seed (replay a failure by exporting the same spec)"
 SUNMT_INJECT="seed=$inject_seed,rate=0.05,ops=yield|delay|steal" \
-  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L "net|stats|sched"
+  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L "net|stats|sched|lifecycle"
 SUNMT_INJECT="seed=$inject_seed,rate=0.02,ops=yield|delay|steal" \
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched"
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched|lifecycle"
 
 echo
 echo "check.sh: all green"

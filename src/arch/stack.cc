@@ -4,9 +4,12 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <new>
 
+#include "src/inject/inject.h"
 #include "src/util/check.h"
+#include "src/util/intrusive_list.h"
 #include "src/util/spinlock.h"
 
 namespace sunmt {
@@ -22,25 +25,142 @@ size_t RoundUpToPage(size_t n) {
   return (n + p - 1) / p * p;
 }
 
-// Free list of cached default-size stacks. A simple fixed array under a spinlock:
-// stack recycling happens at thread exit, which is already a scheduler operation.
-constexpr size_t kMaxCached = 256;
-
-struct CacheState {
-  SpinLock lock;
-  size_t count = 0;
-  // Raw mapping records; reconstructed into Stack objects on acquire.
-  struct Entry {
-    void* map_base;
-    size_t map_size;
-    void* base;
-    size_t size;
-  } entries[kMaxCached];
+// Raw mapping record; reconstructed into a Stack object on acquire.
+struct Entry {
+  void* map_base;
+  size_t map_size;
+  void* base;
+  size_t size;
 };
 
-CacheState& Cache() {
-  static CacheState state;
-  return state;
+// The depot: the shared, locked tier. Touched only on magazine refill/flush
+// (one lock trip per kRefillBatch create/exits) and by the cold maintenance
+// entry points (Drain/Snapshot/fork repair).
+struct Depot {
+  SpinLock lock;
+  size_t count = 0;
+  Entry entries[StackCache::kDepotCapacity];
+};
+
+Depot& GlobalDepot() {
+  static Depot* depot = new Depot;  // leaked: outlives all threads
+  return *depot;
+}
+
+// Bumped by ResetAfterFork so magazines inherited from the parent notice they
+// are stale and re-register (abandoning parent-cached entries) on next use.
+std::atomic<uint32_t> g_fork_epoch{0};
+
+// Misses allocate outside any lock, so their counter is a plain atomic.
+std::atomic<uint64_t> g_misses{0};
+
+// Per-kernel-thread magazine. The lock is almost always uncontended — only
+// the owning thread takes it on the hot path; Drain/Snapshot/CachedCount take
+// it cross-thread — so steady-state create/exit costs an uncontended CAS, not
+// a shared-lock round trip.
+struct Magazine {
+  SpinLock lock;
+  size_t count = 0;
+  uint64_t hits = 0;
+  uint64_t refills = 0;
+  uint64_t flushes = 0;
+  uint32_t fork_epoch = 0;
+  bool registered = false;
+  Entry entries[StackCache::kMagazineCapacity];
+  ListNode registry_node;
+
+  ~Magazine();
+};
+
+// Registry of live magazines so the cold entry points can reach entries cached
+// in other threads' magazines. Counters of destroyed magazines are folded into
+// the retired_* accumulators so Snapshot() stays monotonic.
+struct MagazineRegistry {
+  SpinLock lock;
+  IntrusiveList<Magazine, &Magazine::registry_node> magazines;
+  uint64_t retired_hits = 0;
+  uint64_t retired_refills = 0;
+  uint64_t retired_flushes = 0;
+};
+
+MagazineRegistry& Registry() {
+  static MagazineRegistry* reg = new MagazineRegistry;  // leaked
+  return *reg;
+}
+
+void FreeEntry(const Entry& e) { SUNMT_CHECK(munmap(e.map_base, e.map_size) == 0); }
+
+// Flushes the oldest `n` entries of `m` (owner lock held) toward the depot;
+// entries that do not fit are freed after both locks drop.
+void FlushBatchLocked(Magazine& m, size_t n) {
+  Entry overflow[StackCache::kMagazineCapacity];
+  size_t overflow_count = 0;
+  if (n > m.count) {
+    n = m.count;
+  }
+  if (n == 0) {
+    return;
+  }
+  inject::Perturb(inject::kStackMagazine);
+  Depot& d = GlobalDepot();
+  {
+    SpinLockGuard guard(d.lock);
+    for (size_t i = 0; i < n; ++i) {
+      if (d.count < StackCache::kDepotCapacity) {
+        d.entries[d.count++] = m.entries[i];
+      } else {
+        overflow[overflow_count++] = m.entries[i];
+      }
+    }
+  }
+  // Keep the hottest (most recently recycled) entries: shift the survivors down.
+  for (size_t i = n; i < m.count; ++i) {
+    m.entries[i - n] = m.entries[i];
+  }
+  m.count -= n;
+  m.flushes++;
+  for (size_t i = 0; i < overflow_count; ++i) {
+    FreeEntry(overflow[i]);
+  }
+}
+
+Magazine::~Magazine() {
+  // A magazine left over from before a fork belongs to the parent's cache
+  // generation; its registry link and entries are meaningless here. Abandon.
+  if (!registered || fork_epoch != g_fork_epoch.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    SpinLockGuard guard(lock);
+    FlushBatchLocked(*this, count);
+  }
+  MagazineRegistry& r = Registry();
+  SpinLockGuard guard(r.lock);
+  r.magazines.TryRemove(this);
+  r.retired_hits += hits;
+  r.retired_refills += refills;
+  r.retired_flushes += flushes;
+}
+
+// The calling kernel thread's magazine, (re)registered on first use and after
+// a fork. Registration is the only path where the owner touches the registry
+// lock, and it never holds its own magazine lock while doing so.
+Magazine& LocalMagazine() {
+  thread_local Magazine magazine;
+  uint32_t epoch = g_fork_epoch.load(std::memory_order_acquire);
+  if (__builtin_expect(!magazine.registered || magazine.fork_epoch != epoch, 0)) {
+    magazine.lock.Reset();  // may carry the parent's locked image across fork
+    magazine.count = 0;     // parent-generation entries are not ours to free
+    magazine.fork_epoch = epoch;
+    // The link may carry stale parent-era pointers (the child's registry was
+    // rebuilt empty); reset it so PushBack sees a clean node.
+    magazine.registry_node = ListNode{};
+    MagazineRegistry& r = Registry();
+    SpinLockGuard guard(r.lock);
+    r.magazines.PushBack(&magazine);
+    magazine.registered = true;
+  }
+  return magazine;
 }
 
 }  // namespace
@@ -97,14 +217,29 @@ void Stack::Release() {
 }
 
 Stack StackCache::Acquire() {
-  CacheState& c = Cache();
-  {
-    SpinLockGuard guard(c.lock);
-    if (c.count > 0) {
-      auto& e = c.entries[--c.count];
-      return Stack(e.base, e.size, e.map_base, e.map_size, /*owned=*/true);
+  Magazine& m = LocalMagazine();
+  m.lock.Lock();
+  if (m.count == 0) {
+    // Empty magazine: one depot trip buys up to kRefillBatch future acquires.
+    inject::Perturb(inject::kStackMagazine);
+    Depot& d = GlobalDepot();
+    SpinLockGuard guard(d.lock);
+    size_t take = d.count < kRefillBatch ? d.count : kRefillBatch;
+    for (size_t i = 0; i < take; ++i) {
+      m.entries[m.count++] = d.entries[--d.count];
+    }
+    if (take > 0) {
+      m.refills++;
     }
   }
+  if (m.count > 0) {
+    Entry e = m.entries[--m.count];
+    m.hits++;
+    m.lock.Unlock();
+    return Stack(e.base, e.size, e.map_base, e.map_size, /*owned=*/true);
+  }
+  m.lock.Unlock();
+  g_misses.fetch_add(1, std::memory_order_relaxed);
   return Stack::AllocateOwned(Stack::kDefaultSize);
 }
 
@@ -112,13 +247,13 @@ void StackCache::Recycle(Stack stack) {
   if (!stack.owned() || stack.size() != RoundUpToPage(Stack::kDefaultSize)) {
     return;  // destructor frees it
   }
-  CacheState& c = Cache();
-  SpinLockGuard guard(c.lock);
-  if (c.count >= kMaxCached) {
-    return;  // destructor frees it
+  Magazine& m = LocalMagazine();
+  SpinLockGuard guard(m.lock);
+  if (m.count == kMagazineCapacity) {
+    FlushBatchLocked(m, kRefillBatch);
   }
   // Steal the mapping from the Stack object so its destructor doesn't unmap it.
-  auto& e = c.entries[c.count++];
+  Entry& e = m.entries[m.count++];
   e.base = stack.base();
   e.size = stack.size();
   e.map_base = stack.map_base_;
@@ -127,24 +262,81 @@ void StackCache::Recycle(Stack stack) {
 }
 
 size_t StackCache::CachedCount() {
-  CacheState& c = Cache();
-  SpinLockGuard guard(c.lock);
-  return c.count;
+  size_t total;
+  {
+    Depot& d = GlobalDepot();
+    SpinLockGuard guard(d.lock);
+    total = d.count;
+  }
+  MagazineRegistry& r = Registry();
+  SpinLockGuard guard(r.lock);
+  r.magazines.ForEach([&](Magazine* m) {
+    SpinLockGuard mguard(m->lock);
+    total += m->count;
+  });
+  return total;
 }
 
 void StackCache::ResetAfterFork() {
-  CacheState& c = Cache();
-  new (&c.lock) SpinLock();
-  c.count = 0;
+  Depot& d = GlobalDepot();
+  new (&d.lock) SpinLock();
+  d.count = 0;
+  MagazineRegistry& r = Registry();
+  new (&r) MagazineRegistry();
+  // Surviving magazines notice the new epoch and re-register with clean state.
+  g_fork_epoch.fetch_add(1, std::memory_order_release);
 }
 
 void StackCache::Drain() {
-  CacheState& c = Cache();
-  SpinLockGuard guard(c.lock);
-  while (c.count > 0) {
-    auto& e = c.entries[--c.count];
-    SUNMT_CHECK(munmap(e.map_base, e.map_size) == 0);
+  // Pull every magazine's entries into the depot first (so there is a single
+  // place to free from), then empty the depot. Entries are freed outside the
+  // magazine locks; the depot overflow inside FlushBatchLocked frees directly.
+  {
+    MagazineRegistry& r = Registry();
+    SpinLockGuard guard(r.lock);
+    r.magazines.ForEach([&](Magazine* m) {
+      SpinLockGuard mguard(m->lock);
+      FlushBatchLocked(*m, m->count);
+    });
   }
+  Entry drained[kDepotCapacity];
+  size_t drained_count;
+  {
+    Depot& d = GlobalDepot();
+    SpinLockGuard guard(d.lock);
+    drained_count = d.count;
+    for (size_t i = 0; i < drained_count; ++i) {
+      drained[i] = d.entries[i];
+    }
+    d.count = 0;
+  }
+  for (size_t i = 0; i < drained_count; ++i) {
+    FreeEntry(drained[i]);
+  }
+}
+
+StackCache::Counters StackCache::Snapshot() {
+  Counters c;
+  c.misses = g_misses.load(std::memory_order_relaxed);
+  {
+    Depot& d = GlobalDepot();
+    SpinLockGuard guard(d.lock);
+    c.depot_depth = d.count;
+  }
+  MagazineRegistry& r = Registry();
+  SpinLockGuard guard(r.lock);
+  c.hits = r.retired_hits;
+  c.refills = r.retired_refills;
+  c.flushes = r.retired_flushes;
+  r.magazines.ForEach([&](Magazine* m) {
+    SpinLockGuard mguard(m->lock);
+    c.hits += m->hits;
+    c.refills += m->refills;
+    c.flushes += m->flushes;
+    c.magazine_depth += m->count;
+    c.magazine_count++;
+  });
+  return c;
 }
 
 }  // namespace sunmt

@@ -11,6 +11,7 @@
 #define SUNMT_SRC_ARCH_STACK_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace sunmt {
 
@@ -58,25 +59,50 @@ class Stack {
   bool owned_ = false;
 };
 
-// Process-wide cache of default-size stacks. Thread-safe.
+// Process-wide cache of default-size stacks (each carrying the carved TCB+TLS
+// region at its top, so a cache hit re-creates a thread without touching new
+// memory). Two-level, magazine style: every kernel thread (i.e. every LWP)
+// owns a small thread-local magazine; a locked global depot backs all
+// magazines and is touched only in batches of kRefillBatch, so steady-state
+// Acquire/Recycle never takes a shared lock. Thread-safe.
 class StackCache {
  public:
+  // Depot capacity (global, shared) and per-LWP magazine capacity. A magazine
+  // round-trips to the depot once per kRefillBatch create/exits.
+  static constexpr size_t kDepotCapacity = 256;
+  static constexpr size_t kMagazineCapacity = 16;
+  static constexpr size_t kRefillBatch = 8;
+
   // Returns a stack with kDefaultSize usable bytes, reusing a cached one if possible.
   static Stack Acquire();
 
   // Returns a default-size owned stack to the cache (or frees it if full / wrong size).
   static void Recycle(Stack stack);
 
-  // Number of stacks currently cached (for tests).
+  // Number of stacks currently cached: depot + every live magazine (for tests).
   static size_t CachedCount();
 
-  // Frees all cached stacks (for leak-sensitive tests).
+  // Frees all cached stacks, including entries sitting in other LWPs'
+  // magazines (for leak-sensitive tests).
   static void Drain();
 
-  // fork1() child-side repair: reinitializes the cache lock and forgets cached
-  // entries (the child's copies are reachable only here; abandoning them is
-  // safe and simple).
+  // fork1() child-side repair: reinitializes the cache locks and forgets
+  // cached entries (the child's copies are reachable only here; abandoning
+  // them is safe and simple). Surviving magazines re-register lazily.
   static void ResetAfterFork();
+
+  // Aggregate cache effectiveness counters (monotonic except the depth/count
+  // gauges), exported via FormatProcessState().
+  struct Counters {
+    uint64_t hits = 0;      // Acquire served from a magazine (incl. post-refill)
+    uint64_t misses = 0;    // Acquire fell through to a fresh mmap
+    uint64_t refills = 0;   // batch refills, depot -> magazine
+    uint64_t flushes = 0;   // batch flushes, magazine -> depot
+    size_t depot_depth = 0;     // entries in the depot right now
+    size_t magazine_count = 0;  // live per-LWP magazines
+    size_t magazine_depth = 0;  // entries across all magazines right now
+  };
+  static Counters Snapshot();
 };
 
 }  // namespace sunmt

@@ -360,20 +360,11 @@ void Runtime::ReapDeadLwps() {
   }
 }
 
-void Runtime::RegisterThread(Tcb* tcb) {
-  SpinLockGuard guard(registry_lock_);
-  threads_.PushBack(tcb);
-}
+void Runtime::RegisterThread(Tcb* tcb) { registry_.Register(tcb); }
 
-void Runtime::UnregisterThread(Tcb* tcb) {
-  SpinLockGuard guard(registry_lock_);
-  threads_.TryRemove(tcb);
-}
+void Runtime::UnregisterThread(Tcb* tcb) { registry_.Unregister(tcb); }
 
-size_t Runtime::ThreadCount() {
-  SpinLockGuard guard(registry_lock_);
-  return threads_.Size();
-}
+size_t Runtime::ThreadCount() { return registry_.Count(); }
 
 void Runtime::ReclaimTcb(Tcb* tcb) {
   Stack stack = static_cast<Stack&&>(tcb->stack);
@@ -438,17 +429,12 @@ ThreadId Runtime::Wait(ThreadId id) {
       return exited;
     }
     if (id != kInvalidThreadId) {
-      // The target must exist, be waitable, and have no other waiter.
+      // The target must exist, be waitable, and have no other waiter. The
+      // lookup touches exactly one registry shard (taken inside wait_lock_,
+      // the same order OnThreadExit uses for unregistration).
       bool ok = false;
       bool already_waited = false;
-      {
-        SpinLockGuard guard(registry_lock_);
-        threads_.ForEach([&](Tcb* t) {
-          if (t->id == id && t->waitable) {
-            ok = true;
-          }
-        });
-      }
+      registry_.WithThread(id, [&](Tcb* t) { ok = t->waitable; });
       waiters_.ForEach([&](Tcb* w) {
         if (w->waiting_for == id) {
           already_waited = true;
@@ -460,15 +446,8 @@ ThreadId Runtime::Wait(ThreadId id) {
       }
     } else {
       // Any-wait: error if nothing waitable exists (would block forever).
-      bool any = false;
-      {
-        SpinLockGuard guard(registry_lock_);
-        threads_.ForEach([&](Tcb* t) {
-          if (t->waitable && t != self) {
-            any = true;
-          }
-        });
-      }
+      bool any = registry_.AnyThread(
+          [self](Tcb* t) { return t->waitable && t != self; });
       if (!any) {
         wait_lock_.Unlock();
         return kInvalidThreadId;
@@ -539,8 +518,8 @@ void Runtime::SnapshotLwps(std::vector<LwpInfo>* out) {
     info.pool = true;
     info.in_kernel_wait = lwp->InKernelWait();
     info.indefinite_wait = lwp->InIndefiniteWait();
-    Tcb* t = static_cast<Tcb*>(lwp->current_thread);
-    info.running_thread = t != nullptr ? t->id : kInvalidThreadId;
+    uint64_t tid = lwp->current_tid.load(std::memory_order_relaxed);
+    info.running_thread = tid != 0 ? tid : kInvalidThreadId;
     out->push_back(info);
   }
 }

@@ -14,6 +14,7 @@
 
 #include "src/core/run_queue.h"
 #include "src/core/tcb.h"
+#include "src/core/thread_registry.h"
 #include "src/lwp/lwp.h"
 #include "src/stats/stats.h"
 #include "src/util/intrusive_list.h"
@@ -144,28 +145,24 @@ class Runtime {
     return next_thread_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Runs `fn(tcb)` with the registry lock held on the thread with `id`; returns
-  // false if no such thread. Keeps lookups race-free without exposing raw TCBs.
+  // Runs `fn(tcb)` with the owning registry-shard lock held on the thread with
+  // `id`; returns false if no such thread. Keeps lookups race-free without
+  // exposing raw TCBs, and touches exactly one shard.
   template <typename Fn>
   bool WithThread(ThreadId id, Fn&& fn) {
-    SpinLockGuard guard(registry_lock_);
-    Tcb* found = nullptr;
-    threads_.ForEach([&](Tcb* t) {
-      if (t->id == id) {
-        found = t;
-      }
-    });
-    if (found == nullptr) {
-      return false;
-    }
-    fn(found);
-    return true;
+    return registry_.WithThread(id, static_cast<Fn&&>(fn));
   }
 
+  // Visits threads shard by shard (best-effort snapshot; see thread_registry.h).
   template <typename Fn>
   void ForEachThread(Fn&& fn) {
-    SpinLockGuard guard(registry_lock_);
-    threads_.ForEach([&](Tcb* t) { fn(t); });
+    registry_.ForEach(static_cast<Fn&&>(fn));
+  }
+
+  // Early-exit existence test over the registry.
+  template <typename Pred>
+  bool AnyThread(Pred&& pred) {
+    return registry_.AnyThread(static_cast<Pred&&>(pred));
   }
 
   // ---- thread_exit / thread_wait ----------------------------------------------
@@ -221,8 +218,7 @@ class Runtime {
   std::atomic<int> idle_count_{0};
   std::atomic<bool> wake_pending_{false};
 
-  SpinLock registry_lock_;
-  IntrusiveList<Tcb, &Tcb::registry_node> threads_;
+  ThreadRegistry registry_;
   std::atomic<ThreadId> next_thread_id_{1};  // the initial (adopted) thread gets 1
 
   SpinLock wait_lock_;

@@ -12,6 +12,7 @@
 #include "src/core/trace.h"
 #include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
+#include "src/lwp/onproc.h"
 #include "src/stats/stats.h"
 #include "src/util/check.h"
 #include "src/util/clock.h"
@@ -102,7 +103,9 @@ void AdoptedSchedMain(void* first_commit) {
   Lwp* self = Lwp::Current();
   SUNMT_CHECK(self != nullptr);
   Tcb* tcb = commit->prev;
-  self->current_thread = nullptr;
+  self->current_thread.store(nullptr, std::memory_order_relaxed);
+  self->current_tid.store(0, std::memory_order_relaxed);
+  onproc::Publish(self->onproc_slot(), 0);
   RunCommit(commit);
   for (;;) {
     ThreadState s = tcb->state.load(std::memory_order_acquire);
@@ -142,7 +145,9 @@ Tcb* AdoptCurrentKernelThread() {
   // Keep the mapping alive: the TCB is never reclaimed, so park it there.
   tcb->stack = static_cast<Stack&&>(sched_stack);
   tcb->state.store(ThreadState::kRunning, std::memory_order_release);
-  lwp->current_thread = tcb;
+  lwp->current_thread.store(tcb, std::memory_order_relaxed);
+  lwp->current_tid.store(static_cast<uint64_t>(tcb->id), std::memory_order_relaxed);
+  onproc::Publish(lwp->onproc_slot(), static_cast<uint64_t>(tcb->id));
   rt.RegisterThread(tcb);
   return tcb;
 }
@@ -154,7 +159,7 @@ Tcb* CurrentTcb() {
   if (lwp == nullptr) {
     return nullptr;
   }
-  return static_cast<Tcb*>(lwp->current_thread);
+  return static_cast<Tcb*>(lwp->current_thread.load(std::memory_order_relaxed));
 }
 
 Tcb* CurrentTcbOrAdopt() {
@@ -339,7 +344,11 @@ void RunThread(Lwp* lwp, Tcb* tcb) {
     Stats::RecordValue(LatencyStat::kRunQueueDepth,
                        Runtime::Get().queues().LocalDepth(lwp->sched_shard));
   }
-  lwp->current_thread = tcb;
+  lwp->current_thread.store(tcb, std::memory_order_relaxed);
+  lwp->current_tid.store(static_cast<uint64_t>(tcb->id), std::memory_order_relaxed);
+  // Publish ON-PROC status for owner-aware adaptive locks: while this id is
+  // visible in the slot, spinners on a mutex this thread holds keep spinning.
+  onproc::Publish(lwp->onproc_slot(), static_cast<uint64_t>(tcb->id));
   if (lwp->sched_shard >= 0) {
     tcb->last_shard = lwp->sched_shard;  // wake affinity for the next block/wake
   }
@@ -355,7 +364,9 @@ void RunThread(Lwp* lwp, Tcb* tcb) {
   }
   void* ret = lwp->sched_ctx.SwitchTo(tcb->ctx, tcb);
   lwp->ClearDispatch();
-  lwp->current_thread = nullptr;
+  lwp->current_thread.store(nullptr, std::memory_order_relaxed);
+  lwp->current_tid.store(0, std::memory_order_relaxed);
+  onproc::Publish(lwp->onproc_slot(), 0);  // back in the dispatch loop: off-proc
   RunCommit(static_cast<SwitchCommit*>(ret));
 }
 

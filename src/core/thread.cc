@@ -129,8 +129,13 @@ thread_id_t thread_waitid(int id_type, thread_id_t id) {
 thread_id_t thread_get_id() { return sched::CurrentTcbOrAdopt()->id; }
 
 int thread_stop(thread_id_t thread_id) {
-  Tcb* self = sched::CurrentTcbOrAdopt();
-  if (thread_id == kInvalidThreadId || thread_id == self->id) {
+  // Adopt only when the calling kernel thread is actually the target: paths
+  // aimed at another thread just need the registry, not a TCB of their own.
+  Tcb* self = sched::CurrentTcb();
+  if (thread_id == kInvalidThreadId || (self != nullptr && thread_id == self->id)) {
+    if (self == nullptr) {
+      (void)sched::CurrentTcbOrAdopt();
+    }
     sched::StopSelf();
     return 0;
   }
@@ -211,8 +216,11 @@ int thread_priority(thread_id_t thread_id, int priority) {
   if (priority < 0) {
     return -1;
   }
-  Tcb* self = sched::CurrentTcbOrAdopt();
-  if (thread_id == kInvalidThreadId || thread_id == self->id) {
+  Tcb* self = sched::CurrentTcb();
+  if (thread_id == kInvalidThreadId || (self != nullptr && thread_id == self->id)) {
+    if (self == nullptr) {
+      self = sched::CurrentTcbOrAdopt();
+    }
     int old = self->priority.exchange(priority, std::memory_order_relaxed);
     return old;
   }
@@ -270,8 +278,11 @@ int thread_setname(thread_id_t thread_id, const char* name) {
   if (name == nullptr) {
     return -1;
   }
-  Tcb* self = sched::CurrentTcbOrAdopt();
-  if (thread_id == kInvalidThreadId || thread_id == self->id) {
+  Tcb* self = sched::CurrentTcb();
+  if (thread_id == kInvalidThreadId || (self != nullptr && thread_id == self->id)) {
+    if (self == nullptr) {
+      self = sched::CurrentTcbOrAdopt();
+    }
     CopyNameLocked(self, name);
     return 0;
   }
@@ -284,7 +295,7 @@ int thread_getname(thread_id_t thread_id, char* buf, size_t size) {
   if (buf == nullptr || size == 0) {
     return -1;
   }
-  Tcb* self = sched::CurrentTcbOrAdopt();
+  Tcb* self = sched::CurrentTcb();
   auto copy_out = [buf, size](Tcb* tcb) {
     SpinLockGuard guard(tcb->state_lock);
     size_t i = 0;
@@ -293,7 +304,10 @@ int thread_getname(thread_id_t thread_id, char* buf, size_t size) {
     }
     buf[i] = '\0';
   };
-  if (thread_id == kInvalidThreadId || thread_id == self->id) {
+  if (thread_id == kInvalidThreadId || (self != nullptr && thread_id == self->id)) {
+    if (self == nullptr) {
+      self = sched::CurrentTcbOrAdopt();
+    }
     copy_out(self);
     return 0;
   }

@@ -1,0 +1,127 @@
+// Sharded thread registry.
+//
+// The registry answers "find the TCB with this id" (thread_kill, thread_stop,
+// thread_setname, ...) and "visit every thread" (introspect, signal fan-out).
+// A single list under one process-wide lock serializes every create and exit;
+// with thousands of threads that lock is the lifecycle bottleneck. Instead the
+// registry is a hash table keyed by ThreadId: ids are allocated sequentially,
+// so `id & (kShards-1)` spreads consecutive creates across shards perfectly —
+// concurrent creators on different LWPs almost never meet on a shard lock, and
+// WithThread touches exactly one shard.
+//
+// Iteration takes shard locks one at a time in index order. A traversal is
+// therefore not an atomic snapshot of the thread set (threads may register or
+// die in shards the walk has already left) — the same best-effort semantics
+// the single-lock registry gave callers that re-looked-up ids afterwards, and
+// exactly what introspect/signal already document.
+
+#ifndef SUNMT_SRC_CORE_THREAD_REGISTRY_H_
+#define SUNMT_SRC_CORE_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "src/core/tcb.h"
+#include "src/inject/inject.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+
+class ThreadRegistry {
+ public:
+  // Power of two. 64 keeps a shard's expected chain length ~1 even with a few
+  // thousand live threads spread over sequential ids, while the whole table
+  // (64 * one cache line) stays small enough to walk quickly for iteration.
+  static constexpr int kShards = 64;
+
+  void Register(Tcb* tcb) {
+    inject::Perturb(inject::kRegistryShard);
+    Shard& s = ShardFor(tcb->id);
+    SpinLockGuard guard(s.lock);
+    s.threads.PushBack(tcb);
+  }
+
+  void Unregister(Tcb* tcb) {
+    inject::Perturb(inject::kRegistryShard);
+    Shard& s = ShardFor(tcb->id);
+    SpinLockGuard guard(s.lock);
+    s.threads.TryRemove(tcb);
+  }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (const Shard& s : shards_) {
+      SpinLockGuard guard(s.lock);
+      total += s.threads.Size();
+    }
+    return total;
+  }
+
+  // Runs `fn(tcb)` with the owning shard's lock held on the thread with `id`;
+  // returns false if no such thread. One shard, never the whole table.
+  template <typename Fn>
+  bool WithThread(ThreadId id, Fn&& fn) {
+    inject::Perturb(inject::kRegistryShard);
+    Shard& s = ShardFor(id);
+    SpinLockGuard guard(s.lock);
+    Tcb* found = nullptr;
+    s.threads.ForEach([&](Tcb* t) {
+      if (t->id == id) {
+        found = t;
+      }
+    });
+    if (found == nullptr) {
+      return false;
+    }
+    fn(found);
+    return true;
+  }
+
+  // Visits every registered thread, shard by shard in index order (best-effort
+  // consistency; see the header comment). `fn` runs under the shard lock.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    inject::Perturb(inject::kRegistryShard);
+    for (Shard& s : shards_) {
+      SpinLockGuard guard(s.lock);
+      s.threads.ForEach([&](Tcb* t) { fn(t); });
+    }
+  }
+
+  // True if any registered thread satisfies `pred`; stops at the first hit so
+  // existence checks do not pay for a full-table walk.
+  template <typename Pred>
+  bool AnyThread(Pred&& pred) {
+    inject::Perturb(inject::kRegistryShard);
+    for (Shard& s : shards_) {
+      SpinLockGuard guard(s.lock);
+      bool hit = false;
+      s.threads.ForEach([&](Tcb* t) {
+        if (pred(t)) {
+          hit = true;
+        }
+      });
+      if (hit) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable SpinLock lock;
+    IntrusiveList<Tcb, &Tcb::registry_node> threads;
+  };
+
+  Shard& ShardFor(ThreadId id) {
+    return shards_[static_cast<uint64_t>(id) & (kShards - 1)];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_CORE_THREAD_REGISTRY_H_

@@ -184,6 +184,8 @@ const char* PointName(Point p) {
     case kNetSyscall:      return "net.syscall";
     case kNetWaitReady:    return "net.wait_ready";
     case kIoSyscall:       return "io.syscall";
+    case kStackMagazine:   return "stack.magazine";
+    case kRegistryShard:   return "registry.shard";
     case kPointCount:      break;
   }
   return "?";

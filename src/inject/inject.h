@@ -64,6 +64,8 @@ enum Point : uint8_t {
   kNetSyscall,           // net_read/net_write/net_accept syscall attempt (fault)
   kNetWaitReady,         // NetPoller::WaitReady entry (fault: spurious ready)
   kIoSyscall,            // io_* blocking wrapper syscall attempt (fault)
+  kStackMagazine,        // stack-cache magazine refill/flush (depot hand-off)
+  kRegistryShard,        // thread-registry shard lookup/iteration entry
   kPointCount,
 };
 

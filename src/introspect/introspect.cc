@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 
+#include "src/arch/stack.h"
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/tcb.h"
@@ -42,8 +43,9 @@ void CollectLwp(Lwp* lwp, void* cookie) {
   snap.pool = lwp->pool != nullptr;
   snap.in_kernel_wait = lwp->InKernelWait();
   snap.indefinite_wait = lwp->InIndefiniteWait();
-  Tcb* t = static_cast<Tcb*>(lwp->current_thread);
-  snap.running_thread = t != nullptr ? t->id : 0;
+  // current_thread points into a recyclable stack block; only the id mirror is
+  // safe to read from another LWP.
+  snap.running_thread = lwp->current_tid.load(std::memory_order_relaxed);
   LwpUsage usage = lwp->Usage();
   snap.user_ns = usage.user_ns;
   snap.system_wait_ns = usage.system_wait_ns;
@@ -61,16 +63,18 @@ void SnapshotThreads(std::vector<ThreadSnapshot>* out) {
   Runtime::Get().ForEachThread([out](Tcb* t) {
     ThreadSnapshot snap;
     snap.id = t->id;
+    Lwp* lwp;
     {
       SpinLockGuard guard(t->state_lock);
       snprintf(snap.name, sizeof(snap.name), "%s", t->name);
+      // t->lwp is rebound by the dispatcher under state_lock on every switch.
+      lwp = t->IsBound() ? t->bound_lwp : t->lwp;
     }
     snap.state = StateName(t->state.load(std::memory_order_acquire));
     snap.priority = t->priority.load(std::memory_order_relaxed);
     snap.bound = t->IsBound();
     snap.waitable = t->waitable;
     snap.stop_requested = t->stop_requested.load(std::memory_order_relaxed);
-    Lwp* lwp = t->IsBound() ? t->bound_lwp : t->lwp;
     snap.lwp_id = lwp != nullptr ? lwp->id() : -1;
     snap.pending_signals = t->pending_signals.load(std::memory_order_relaxed);
     snap.sigmask = t->sigmask.load(std::memory_order_relaxed);
@@ -192,6 +196,13 @@ std::string FormatProcessState() {
     snprintf(line, sizeof(line), " overflow:%zu\n", overflow_depth);
     out += line;
   }
+  StackCache::Counters sc = StackCache::Snapshot();
+  snprintf(line, sizeof(line),
+           "STACKCACHE hits=%" PRIu64 " misses=%" PRIu64 " refills=%" PRIu64
+           " flushes=%" PRIu64 " depot=%zu magazines=%zu depth=%zu\n",
+           sc.hits, sc.misses, sc.refills, sc.flushes, sc.depot_depth,
+           sc.magazine_count, sc.magazine_depth);
+  out += line;
   inject::Counters inj = inject::Snapshot();
   if (inj.configured) {
     snprintf(line, sizeof(line),

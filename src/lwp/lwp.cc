@@ -5,6 +5,7 @@
 
 #include <new>
 
+#include "src/lwp/onproc.h"
 #include "src/util/check.h"
 #include "src/util/clock.h"
 #include "src/util/futex.h"
@@ -27,9 +28,9 @@ RegistryState& Registry() {
 
 }  // namespace
 
-Lwp::Lwp(int id) : id_(id) {}
+Lwp::Lwp(int id) : id_(id), onproc_slot_(onproc::AllocSlot()) {}
 
-Lwp::Lwp(int id, AdoptCurrentThreadTag) : id_(id) {
+Lwp::Lwp(int id, AdoptCurrentThreadTag) : id_(id), onproc_slot_(onproc::AllocSlot()) {
   adopted_ = true;
   g_current_lwp = this;
   pthread_ = pthread_self();
@@ -47,6 +48,7 @@ void Lwp::Start(MainFn main, void* arg) {
 }
 
 Lwp::~Lwp() {
+  onproc::FreeSlot(onproc_slot_);
   if (adopted_) {
     LwpRegistry::Remove(this);
     if (g_current_lwp == this) {

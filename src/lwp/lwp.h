@@ -88,6 +88,11 @@ class Lwp {
   int id() const { return id_; }
   bool adopted() const { return adopted_; }
 
+  // This LWP's slot in the ON-PROC table (src/lwp/onproc.h), allocated for the
+  // LWP's whole lifetime (-1 if the table was full). The threads package
+  // publishes the running thread's id there around each dispatch.
+  int onproc_slot() const { return onproc_slot_; }
+
   // ---- Parking (the only way an LWP idles) -------------------------------
   // Park blocks the calling kernel thread until a token is available; Unpark
   // deposits a token (at most one is retained). Callable from any thread.
@@ -163,7 +168,11 @@ class Lwp {
   size_t alt_stack_size = 0;
 
   // ---- Slots owned by the threads package ---------------------------------
-  void* current_thread = nullptr;  // TCB currently executing on this LWP
+  // current_thread is only dereferenced from this LWP itself; cross-LWP
+  // observers (introspection) must read current_tid instead — the TCB behind
+  // the pointer lives in a recyclable stack block and may be rebuilt for a new
+  // thread the moment it exits.
+  std::atomic<void*> current_thread{nullptr};  // TCB executing on this LWP
   Context sched_ctx;               // the LWP's own (dispatch loop) context
   std::atomic<bool> retire{false}; // dispatch loop should exit when idle
   void* pool = nullptr;            // owning LWP pool, if any
@@ -173,6 +182,10 @@ class Lwp {
   // Link in the global LwpRegistry (managed by Add/Remove; public because the
   // intrusive-list template needs the member pointer at namespace scope).
   ListNode registry_node;
+
+  // Id of the thread in current_thread, 0 while dispatching. Kept apart from
+  // the hot dispatch fields: introspection polls it from other kernel threads.
+  std::atomic<uint64_t> current_tid{0};
 
   // True once the kernel thread has exited its main function.
   bool Finished() const { return finished_.load(std::memory_order_acquire); }
@@ -193,6 +206,7 @@ class Lwp {
   void ThreadMain(MainFn main, void* arg);
 
   const int id_;
+  const int onproc_slot_;
   std::atomic<uint32_t> park_state_{0};  // 0 = no token, 1 = token available
   SchedClass sched_class_ = SchedClass::kTimeshare;
   int sched_priority_ = 0;

@@ -1,0 +1,78 @@
+// On-processor (ON-PROC) status table for owner-aware adaptive locks.
+//
+// The paper's companion work on lock algorithms ("Basic Lock Algorithms in
+// Lightweight Thread Environments", PAPERS.md) has adaptive mutexes spin only
+// while the lock holder is actually executing on a processor, and block
+// immediately otherwise. The spinner therefore needs to answer "is thread T
+// still running on its LWP?" without touching T's TCB — TCBs live inside
+// recyclable stacks and may be reclaimed (even unmapped) while a stale owner
+// token is still being examined.
+//
+// This module provides a small, stable table that outlives any TCB: each LWP
+// owns one slot for its whole lifetime, and the dispatcher publishes the id of
+// the thread currently ON-PROC there (0 when the LWP is in its dispatch loop
+// or parked). A lock holder encodes (slot, thread id) into a 64-bit token at
+// acquire time; a spinner decodes the slot and compares the published id.
+// Every read/write lands in preallocated global memory, so a token may go
+// stale (holder migrated, exited, slot reused) but can never fault — staleness
+// only yields a conservative "not running", which makes the waiter block.
+
+#ifndef SUNMT_SRC_LWP_ONPROC_H_
+#define SUNMT_SRC_LWP_ONPROC_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sunmt {
+namespace onproc {
+
+// Enough for the default pool cap (max(64, 4*CPUs)) plus bound/adopted LWPs.
+// If a pathological workload exhausts slots, the overflow LWPs get slot -1 and
+// their holders publish token 0 — spinners then fall back to the blind
+// bounded spin, which is correct, just less informed.
+inline constexpr int kSlots = 1024;
+
+// Token layout: (slot+1) in the high 16 bits, thread id in the low 48. Token 0
+// means "owner unknown" (no slot, or the holder had no TCB yet).
+inline constexpr uint64_t kIdMask = (uint64_t{1} << 48) - 1;
+
+namespace internal {
+extern std::atomic<uint64_t> g_onproc[kSlots];
+}
+
+// Slot lifetime, called by the Lwp constructor/destructor. AllocSlot may
+// return -1 when the table is full.
+int AllocSlot();
+void FreeSlot(int slot);
+
+// Publishes the thread currently executing on `slot`'s LWP (0 = none).
+// Called by the dispatcher around every thread run segment.
+inline void Publish(int slot, uint64_t thread_id) {
+  if (slot >= 0) {
+    internal::g_onproc[slot].store(thread_id & kIdMask, std::memory_order_release);
+  }
+}
+
+// Token a lock holder publishes into the lock word's side slot at acquire.
+inline uint64_t MakeToken(int slot, uint64_t thread_id) {
+  if (slot < 0) {
+    return 0;
+  }
+  return (static_cast<uint64_t>(slot + 1) << 48) | (thread_id & kIdMask);
+}
+
+// True while the token's thread is still published as ON-PROC on the LWP it
+// held the lock from. Advisory: may be stale by the time the caller acts.
+inline bool TokenRunning(uint64_t token) {
+  int slot = static_cast<int>(token >> 48) - 1;
+  if (slot < 0 || slot >= kSlots) {
+    return false;
+  }
+  return internal::g_onproc[slot].load(std::memory_order_relaxed) ==
+         (token & kIdMask);
+}
+
+}  // namespace onproc
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_LWP_ONPROC_H_

@@ -295,13 +295,16 @@ int signal_raise_process(int sig) {
   // "An interrupt may be handled by any thread that has it enabled in its signal
   // mask. If more than one thread is enabled to receive the interrupt, only one
   // is chosen."
+  // Early-exit registry scan: stop at the first enabled thread instead of
+  // walking every shard (the common case finds one in the first shard).
   Tcb* chosen = nullptr;
   Runtime& rt = Runtime::Get();
-  rt.ForEachThread([&](Tcb* t) {
-    if (chosen == nullptr &&
-        (t->sigmask.load(std::memory_order_acquire) & SigBit(sig)) == 0) {
+  rt.AnyThread([&](Tcb* t) {
+    if ((t->sigmask.load(std::memory_order_acquire) & SigBit(sig)) == 0) {
       chosen = t;
+      return true;
     }
+    return false;
   });
   if (chosen != nullptr) {
     PendOnThread(chosen, sig);

@@ -76,6 +76,10 @@ const char* LatencyStatName(LatencyStat stat) {
       return "run_queue_lock_wait";
     case LatencyStat::kMutexWaitAdaptive:
       return "mutex_wait_adaptive";
+    case LatencyStat::kMutexWaitAdaptiveSpin:
+      return "mutex_wait_adaptive_spin";
+    case LatencyStat::kMutexWaitAdaptiveBlock:
+      return "mutex_wait_adaptive_block";
     case LatencyStat::kMutexWaitSpin:
       return "mutex_wait_spin";
     case LatencyStat::kMutexWaitDebug:

@@ -54,6 +54,10 @@ enum class LatencyStat : uint8_t {
   kRunQueueLockWait,   // contended run-queue spinlock acquisitions (ns); an
                        // uncontended TryLock records nothing
   kMutexWaitAdaptive,  // contention wait, default/adaptive local mutex
+  kMutexWaitAdaptiveSpin,   // subset of the above resolved by spinning (owner
+                            // stayed ON-PROC and released within the budget)
+  kMutexWaitAdaptiveBlock,  // subset resolved by blocking the thread (owner
+                            // observed off-proc, or the spin budget ran out)
   kMutexWaitSpin,      // contention wait, SYNC_SPIN mutex
   kMutexWaitDebug,     // contention wait, SYNC_DEBUG mutex
   kMutexWaitShared,    // contention wait, THREAD_SYNC_SHARED mutex (futex)

@@ -9,9 +9,12 @@
 
 #include "src/sync/sync.h"
 
+#include <stdlib.h>
+
 #include "src/core/scheduler.h"
 #include "src/core/tcb.h"
 #include "src/lwp/kernel_wait.h"
+#include "src/lwp/onproc.h"
 #include "src/sync/waitq.h"
 #include "src/util/check.h"
 #include "src/util/futex.h"
@@ -24,12 +27,69 @@ constexpr uint32_t kFree = 0;
 constexpr uint32_t kHeld = 1;
 constexpr uint32_t kContended = 2;
 
-// Bounded adaptive spin before blocking (tuned small: blocking is cheap here).
+// Default adaptive spin budget before blocking (tuned small: blocking is
+// cheap here). Overridable via SUNMT_SPIN below.
 constexpr int kAdaptiveSpins = 128;
+
+// Tunable spin budget: SUNMT_SPIN=<n> caps the owner-aware spin phase at n
+// iterations (0 = never spin, always block on contention). Parsed once on the
+// first contended acquisition; every later read is one relaxed load, the same
+// disabled-path discipline as SUNMT_INJECT.
+std::atomic<int> g_spin_budget{-1};
+
+int LoadSpinBudgetSlow() {
+  int budget = kAdaptiveSpins;
+  const char* env = getenv("SUNMT_SPIN");
+  if (env != nullptr && env[0] != '\0') {
+    int parsed = atoi(env);
+    if (parsed >= 0) {
+      budget = parsed;
+    }
+  }
+  g_spin_budget.store(budget, std::memory_order_relaxed);
+  return budget;
+}
+
+inline int SpinBudget() {
+  int budget = g_spin_budget.load(std::memory_order_relaxed);
+  if (__builtin_expect(budget >= 0, 1)) {
+    return budget;
+  }
+  return LoadSpinBudgetSlow();
+}
 
 bool IsShared(const mutex_t* mp) { return (mp->type & THREAD_SYNC_SHARED) != 0; }
 bool IsSpin(const mutex_t* mp) { return (mp->type & SYNC_SPIN) != 0; }
 bool IsDebug(const mutex_t* mp) { return (mp->type & SYNC_DEBUG) != 0; }
+
+// The local blocking variants (adaptive + debug) maintain the owner token the
+// owner-aware spin policy reads; spin and shared variants never block a
+// thread on the waitq, so they skip the bookkeeping.
+bool TracksOwnerToken(const mutex_t* mp) { return !IsShared(mp) && !IsSpin(mp); }
+
+// Publishes "I hold this lock, from this LWP" after an acquisition. Token 0
+// (no TCB / no slot) is fine: spinners treat unknown owners as running.
+void PublishOwnerToken(mutex_t* mp) {
+  Tcb* self = sched::CurrentTcb();
+  uint64_t token = 0;
+  if (self != nullptr && self->lwp != nullptr) {
+    token = onproc::MakeToken(self->lwp->onproc_slot(),
+                              static_cast<uint64_t>(self->id));
+  }
+  mp->owner_token.store(token, std::memory_order_relaxed);
+}
+
+// Splits the kMutexWaitAdaptive distribution by how the wait was resolved, so
+// the spin-vs-block policy shift is visible in FormatStats() directly.
+void RecordAdaptiveOutcome(const mutex_t* mp, int64_t t0, bool resolved_by_spin) {
+  if (t0 == 0 || !Stats::Enabled() || IsDebug(mp)) {
+    return;
+  }
+  int64_t waited = MonotonicNowNs() - t0;
+  Stats::RecordNs(resolved_by_spin ? LatencyStat::kMutexWaitAdaptiveSpin
+                                   : LatencyStat::kMutexWaitAdaptiveBlock,
+                  waited > 0 ? waited : 0);
+}
 
 // Metrics are keyed by variant so the distributions answer the lock-choice
 // question directly (spin vs adaptive vs debug vs shared).
@@ -128,16 +188,33 @@ void LocalEnter(mutex_t* mp) {
       }
     }
   }
-  // Adaptive: spin briefly in the hope the holder is running on another CPU,
-  // then queue and block the thread (the LWP goes on to run other threads).
-  for (int i = 0; i < kAdaptiveSpins; ++i) {
+  // Adaptive: spin (with exponential backoff) only while the holder is
+  // observed ON-PROC — a running holder releases in bounded time, so spinning
+  // is cheaper than a block/wake round trip. A parked or preempted holder
+  // cannot release no matter how long we spin, so the moment the owner token
+  // reads off-proc we queue and block the thread (the LWP goes on to run
+  // other threads). An unknown owner (token 0: acquire/release in progress,
+  // or a holder with no slot) is treated as running.
+  int budget = SpinBudget();
+  int pause = 1;  // exponential, but capped low: long pauses straddle hand-offs
+  for (int i = 0; i < budget; ++i) {
     cur = kFree;
     if (mp->word.compare_exchange_weak(cur, kHeld, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
       SyncWaitEndNs(MutexWaitStat(mp), TraceEvent::kMutexWait, CurrentTid(), t0);
+      RecordAdaptiveOutcome(mp, t0, /*resolved_by_spin=*/true);
       return;
     }
-    CpuRelax();
+    uint64_t owner = mp->owner_token.load(std::memory_order_relaxed);
+    if (owner != 0 && !onproc::TokenRunning(owner)) {
+      break;  // holder is off its LWP: block immediately
+    }
+    for (int p = 0; p < pause; ++p) {
+      CpuRelax();
+    }
+    if (pause < 16) {
+      pause <<= 1;
+    }
   }
   Tcb* self = sched::CurrentTcbOrAdopt();
   mp->qlock.Lock();
@@ -148,6 +225,7 @@ void LocalEnter(mutex_t* mp) {
       mp->qlock.Unlock();
       SyncWaitEndNs(MutexWaitStat(mp), TraceEvent::kMutexWait,
                     static_cast<uint64_t>(self->id), t0);
+      RecordAdaptiveOutcome(mp, t0, /*resolved_by_spin=*/false);
       return;
     }
     if (IsDebug(mp)) {
@@ -183,6 +261,7 @@ void mutex_init(mutex_t* mp, int type, void* arg) {
   mp->wait_head = nullptr;
   mp->wait_tail = nullptr;
   mp->owner = nullptr;
+  mp->owner_token.store(0, std::memory_order_relaxed);
   mp->acquired_ns = 0;
   mp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
 }
@@ -196,6 +275,9 @@ void mutex_enter(mutex_t* mp) {
     SharedEnter(mp);
   } else {
     LocalEnter(mp);
+  }
+  if (TracksOwnerToken(mp)) {
+    PublishOwnerToken(mp);
   }
   if (IsDebug(mp)) {
     mp->owner = sched::CurrentTcb();
@@ -220,6 +302,11 @@ void mutex_exit(mutex_t* mp) {
     }
     mp->acquired_ns = 0;
   }
+  if (TracksOwnerToken(mp)) {
+    // Cleared before the word releases: a spinner may then read a transient 0
+    // ("unknown"), which only makes it spin once more and retry the CAS.
+    mp->owner_token.store(0, std::memory_order_relaxed);
+  }
   if (IsShared(mp)) {
     SharedExit(mp);
   } else {
@@ -231,6 +318,9 @@ int mutex_tryenter(mutex_t* mp) {
   uint32_t cur = kFree;
   bool ok = mp->word.compare_exchange_strong(cur, kHeld, std::memory_order_acquire,
                                              std::memory_order_relaxed);
+  if (ok && TracksOwnerToken(mp)) {
+    PublishOwnerToken(mp);
+  }
   if (ok && IsDebug(mp)) {
     mp->owner = sched::CurrentTcbOrAdopt();
   }

@@ -56,6 +56,12 @@ struct mutex_t {
   Tcb* wait_head{nullptr};
   Tcb* wait_tail{nullptr};
   Tcb* owner{nullptr};  // maintained by the SYNC_DEBUG variant
+  // Owner-aware adaptive spinning (local blocking variants): an onproc token
+  // (see src/lwp/onproc.h) published by the holder after acquire and cleared
+  // before release. Spinners decode it to ask "is the holder still ON-PROC?"
+  // without ever touching the holder's TCB. 0 = unknown (also the valid
+  // all-zero initial state).
+  std::atomic<uint64_t> owner_token{0};
   // Hold-time metrics: enter timestamp, written by the holder while stats are
   // enabled (0 otherwise). Strict bracketing makes this race-free.
   int64_t acquired_ns{0};
