@@ -7,9 +7,11 @@
 # Usage: scripts/bench.sh [extra benchmark args...]
 #   e.g. scripts/bench.sh --benchmark_min_time=0.2
 #
-# Also guards the shakedown injector's zero-cost-when-disabled claim: with
+# Also guards the shakedown injector's zero-cost-when-disabled claim (with
 # SUNMT_INJECT unset, abl_microtask must stay within 1% of the recorded
-# baseline plus the measured run-to-run noise floor (two back-to-back runs).
+# baseline plus the measured run-to-run noise floor of two back-to-back runs)
+# and the lockdep detector's equivalent claim on abl_mutex_variants with
+# SUNMT_DEBUG unset.
 
 set -euo pipefail
 
@@ -32,9 +34,11 @@ fi
 # it; the injector cost check below compares against it.
 prev_micro="$(mktemp)"
 prev_scale="$(mktemp)"
-trap 'rm -f "$prev_micro" "$prev_scale"' EXIT
+prev_mutex="$(mktemp)"
+trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex"' EXIT
 cp "$repo/BENCH_abl_microtask.json" "$prev_micro" 2>/dev/null || true
 cp "$repo/BENCH_abl_thread_scale.json" "$prev_scale" 2>/dev/null || true
+cp "$repo/BENCH_abl_mutex_variants.json" "$prev_mutex" 2>/dev/null || true
 
 failed=0
 for bin in "${benches[@]}"; do
@@ -86,6 +90,36 @@ print(f"  geomean vs baseline: {cost:+.2%}  (noise floor {noise:.2%}, allowed {a
 if cost > allowed:
     sys.exit(f"injector disabled-path cost {cost:.2%} exceeds {allowed:.2%}")
 print("  injector disabled-path cost within noise")
+PY
+fi
+
+# ---- Lockdep disabled-path cost gate ----------------------------------------
+# The lock-order detector (src/debug/lockdep) hooks every mutex/rwlock/sema/
+# condvar acquire; with SUNMT_DEBUG unset each hook must cost one relaxed load.
+# Same construction as the injector gate: fresh abl_mutex_variants vs the
+# recorded baseline, allowing 1% plus the measured run-to-run noise floor.
+mutexb="$build/bench/abl_mutex_variants"
+if [[ -s "$prev_mutex" && -x "$mutexb" && $failed -eq 0 ]]; then
+  echo "== lockdep disabled-path cost (abl_mutex_variants vs recorded baseline) =="
+  out2="$("$mutexb" "$@" 2>&1)" || { echo "$out2"; exit 1; }
+  rerun="$(printf '%s\n' "$out2" | grep -E '^BENCH_abl_mutex_variants\.json ' | tail -1)"
+  python3 - "$prev_mutex" "$repo/BENCH_abl_mutex_variants.json" <<PY || failed=1
+import json, math, sys
+prev = json.load(open(sys.argv[1]))["metrics"]
+run1 = json.load(open(sys.argv[2]))["metrics"]
+run2 = json.loads("""${rerun#BENCH_abl_mutex_variants.json }""")["metrics"]
+keys = sorted(set(prev) & set(run1) & set(run2))
+if not keys:
+    sys.exit("no shared metrics between baseline and fresh runs")
+def geomean(vals):
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+noise = geomean([max(run1[k], run2[k]) / min(run1[k], run2[k]) for k in keys]) - 1
+cost = geomean([run1[k] / prev[k] for k in keys]) - 1
+allowed = 0.01 + noise
+print(f"  geomean vs baseline: {cost:+.2%}  (noise floor {noise:.2%}, allowed {allowed:.2%})")
+if cost > allowed:
+    sys.exit(f"lockdep disabled-path cost {cost:.2%} exceeds {allowed:.2%}")
+print("  lockdep disabled-path cost within noise")
 PY
 fi
 

@@ -6,7 +6,11 @@
 #      `lifecycle` labels — the netpoller's park/wake path, the trace/stats
 #      seqlock, the sharded run queue's steal/box migration, and the magazine
 #      stack cache + sharded registry are the places a data race would live.
-#   3. Shakedown lane: the `inject` label (seeded perturbation sweep, see
+#   3. Lockdep lane: the `lockdep` label (order-inversion + deadlock detector,
+#      see src/debug) plain and under TSan, plus a full-suite pass with
+#      SUNMT_DEBUG=lockorder to prove the detector stays false-positive-free
+#      on every locking pattern the tests exercise.
+#   4. Shakedown lane: the `inject` label (seeded perturbation sweep, see
 #      src/inject) in both builds, plus an env-injected run of the net/stats/
 #      sched labels (schedule ops only — fault/short would violate those tests'
 #      exact-timing expectations). A failing sweep prints the seed that
@@ -29,6 +33,19 @@ echo "== tsan: net + stats + sched + lifecycle labels =="
 cmake -S "$repo" -B "$repo/build-tsan" -DSUNMT_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|stats|sched|lifecycle"
+
+echo
+echo "== lockdep: lockdep label (plain + tsan) =="
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L lockdep
+# The detector's own spinlock-free report path and the held-stack updates are
+# exactly the kind of code TSan should look at; the label stays small enough
+# to run the full sweep under it.
+SUNMT_SHAKEDOWN_SEEDS=16 \
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L lockdep
+# The whole suite must also survive with the detector live: every acquire in
+# every test doubles as lockdep input, and a false positive would abort here.
+SUNMT_DEBUG=lockorder \
+  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo
 echo "== shakedown: inject label (plain + tsan) =="

@@ -10,6 +10,7 @@
 #include "src/core/runtime.h"
 #include "src/core/tls_arena.h"
 #include "src/core/trace.h"
+#include "src/debug/lockdep.h"
 #include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
 #include "src/lwp/onproc.h"
@@ -40,6 +41,22 @@ std::atomic<SignalDeliveryHook> g_signal_hook{nullptr};
 std::atomic<ThreadExitHook> g_exit_hook{nullptr};
 std::atomic<IdlePollHook> g_idle_poll_hook{nullptr};
 std::atomic<int64_t> g_idle_repoll_ns{kDefaultIdleRepollNs};
+
+// Lockdep node provider: user threads carry their lockdep state in the TCB so
+// reports name them by thread id. Raw kernel threads (the timer engine,
+// dispatch contexts) return null and fall back to lockdep's thread_local node.
+lockdep::ThreadNode* LockdepNode() {
+  Tcb* self = CurrentTcb();
+  if (self == nullptr) {
+    return nullptr;
+  }
+  self->lockdep_node.tid.store(static_cast<uint64_t>(self->id),
+                               std::memory_order_relaxed);
+  return &self->lockdep_node;
+}
+struct LockdepProviderInit {
+  LockdepProviderInit() { lockdep::SetNodeProvider(&LockdepNode); }
+} g_lockdep_provider_init;
 
 // Switches from the current thread to its LWP's dispatch context, delivering the
 // commit. Returns when the thread is next dispatched.
@@ -239,6 +256,12 @@ void Block(SpinLock* queue_lock) {
   // Perturbation lands with the sleep-queue lock still held: widens the
   // window where a waker has popped this thread but it has not yet switched.
   inject::Perturb(inject::kSchedBlock);
+  if (lockdep::Enabled()) {
+    // The dispatcher unlocks queue_lock after the context save, on a stack
+    // where CurrentTcb() is null — pop this thread's held entry now so the
+    // hand-off doesn't leak a phantom held lock.
+    lockdep::OnSpinHandoff(queue_lock);
+  }
   SwitchCommit commit{CommitKind::kBlock, self, queue_lock};
   Deschedule(self, &commit);
   SafePoint();

@@ -17,6 +17,7 @@
 #include "src/arch/context.h"
 #include "src/arch/stack.h"
 #include "src/core/thread.h"
+#include "src/debug/lockdep.h"
 #include "src/util/intrusive_list.h"
 #include "src/util/spinlock.h"
 
@@ -57,8 +58,9 @@ struct Tcb {
 
   // ---- Scheduling state ----------------------------------------------------
   // Guards state transitions (state, stop/wakeup flags). Leaf lock: acquired
-  // after any sleep-queue lock, never before.
-  SpinLock state_lock;
+  // after any sleep-queue lock, never before — the lockdep hierarchy level
+  // encodes exactly that exemption (see lockdep::SetOrder).
+  SpinLock state_lock{/*lockdep_level=*/250};
   std::atomic<ThreadState> state{ThreadState::kEmbryo};
   std::atomic<int> priority{0};
   int queued_priority = 0;   // level this TCB was enqueued at (run queue internal)
@@ -126,6 +128,11 @@ struct Tcb {
   // SYNC_DEBUG mutexes record what this thread is blocked on, enabling the
   // wait-for-graph deadlock detector (advisory reads; see src/sync/mutex.cc).
   std::atomic<void*> waiting_for_mutex{nullptr};
+
+  // Lockdep per-thread state: held-lock stack + waiting_on for the wait-for
+  // graph (see src/debug/lockdep.h). The scheduler registers a node provider
+  // returning this, so reports can name user threads by their thread id.
+  lockdep::ThreadNode lockdep_node;
 
   // ---- Signal state (consumed by src/signal) -------------------------------
   std::atomic<uint64_t> sigmask{0};

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "src/debug/lockdep.h"
 #include "src/inject/inject.h"
 #include "src/util/clock.h"
 
@@ -61,6 +62,19 @@ void RecordInjectEvent(inject::Point p, uint32_t op) {
 struct InjectTraceInit {
   InjectTraceInit() { inject::internal::SetRecordHook(&RecordInjectEvent); }
 } g_inject_trace_init;
+
+// Same leaf-discipline loop closure for lockdep: its reports land in the ring
+// as LOCKDEP events without the debug library linking upward.
+void RecordLockdepReport(uint8_t report_kind, uint16_t from_cls,
+                         uint16_t to_cls, uint64_t tid) {
+  Trace::Record(TraceEvent::kLockdep, tid,
+                (static_cast<uint64_t>(report_kind) << 32) |
+                    (static_cast<uint64_t>(from_cls) << 16) | to_cls);
+}
+
+struct LockdepTraceInit {
+  LockdepTraceInit() { lockdep::SetReportHook(&RecordLockdepReport); }
+} g_lockdep_trace_init;
 
 }  // namespace
 
@@ -335,6 +349,19 @@ std::string Trace::ExportChromeJson() {
                         static_cast<inject::Point>(r.arg & 0xff)),
                     r.arg >> 32);
         break;
+      case TraceEvent::kLockdep:
+        // arg = (report kind << 32) | (from class << 16) | to class.
+        AppendEvent(&events,
+                    "{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,"
+                    "\"name\":\"LOCKDEP\",\"ts\":%.3f,"
+                    "\"args\":{\"kind\":%" PRIu64 ",\"thread\":%" PRIu64
+                    ",\"from\":\"%s\",\"to\":\"%s\"}}",
+                    ts, r.arg >> 32, r.thread_id,
+                    lockdep::ClassName(
+                        static_cast<uint32_t>((r.arg >> 16) & 0xffff)),
+                    lockdep::ClassName(
+                        static_cast<uint32_t>(r.arg & 0xffff)));
+        break;
     }
   }
 
@@ -405,6 +432,8 @@ const char* TraceEventName(TraceEvent event) {
       return "STEAL";
     case TraceEvent::kInject:
       return "INJECT";
+    case TraceEvent::kLockdep:
+      return "LOCKDEP";
   }
   return "?";
 }

@@ -47,6 +47,9 @@ enum class TraceEvent : uint8_t {
                   //   subject = thief shard, arg = (count << 32) | victim shard
   kInject,        // shakedown perturbation/fault delivered
                   //   arg = (op bit << 32) | inject::Point
+  kLockdep,       // lockdep report (inversion or deadlock)
+                  //   subject = reporting thread,
+                  //   arg = (report kind << 32) | (from class << 16) | to class
 };
 
 struct TraceRecord {

@@ -186,6 +186,7 @@ const char* PointName(Point p) {
     case kIoSyscall:       return "io.syscall";
     case kStackMagazine:   return "stack.magazine";
     case kRegistryShard:   return "registry.shard";
+    case kLockdep:         return "lockdep.check";
     case kPointCount:      break;
   }
   return "?";

@@ -66,6 +66,7 @@ enum Point : uint8_t {
   kIoSyscall,            // io_* blocking wrapper syscall attempt (fault)
   kStackMagazine,        // stack-cache magazine refill/flush (depot hand-off)
   kRegistryShard,        // thread-registry shard lookup/iteration entry
+  kLockdep,              // lockdep order-check / pre-block walk (SUNMT_DEBUG)
   kPointCount,
 };
 

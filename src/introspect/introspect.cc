@@ -1,11 +1,13 @@
 #include "src/introspect/introspect.h"
 
 #include <cinttypes>
+#include <cstring>
 
 #include "src/arch/stack.h"
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/tcb.h"
+#include "src/debug/lockdep.h"
 #include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
 
@@ -212,6 +214,48 @@ std::string FormatProcessState() {
              inj.enabled ? "on" : "off", inj.seed, inj.rate, inj.ops,
              inj.yields, inj.delays, inj.steal_biases, inj.faults, inj.shorts);
     out += line;
+  }
+  lockdep::CountersSnapshot ld = lockdep::Snapshot();
+  if (ld.configured) {
+    snprintf(line, sizeof(line),
+             "LOCKDEP %s classes=%u checks=%" PRIu64 " edges=%" PRIu64
+             " inversions=%" PRIu64 " deadlocks=%" PRIu64
+             " held_overflows=%" PRIu64 "\n",
+             ld.enabled ? "on" : "off", ld.classes, ld.checks, ld.edges,
+             ld.inversions, ld.deadlocks, ld.held_overflows);
+    out += line;
+    // Per-thread held-lock stacks (only threads actually holding or waiting).
+    if (Runtime::IsInitialized()) {
+      Runtime::Get().ForEachThread([&out](Tcb* t) {
+        char node[512];
+        if (lockdep::FormatThreadNode(&t->lockdep_node, node, sizeof(node)) >
+            0) {
+          char hdr[64];
+          snprintf(hdr, sizeof(hdr), "  thread %" PRIu64 ": ",
+                   static_cast<uint64_t>(t->id));
+          out += hdr;
+          out += node;
+          out += '\n';
+        }
+      });
+    }
+    char report[4096];
+    if (lockdep::LastReport(report, sizeof(report)) > 0) {
+      out += "  last report:\n";
+      const char* p = report;
+      while (*p != '\0') {
+        const char* nl = strchr(p, '\n');
+        out += "    ";
+        if (nl != nullptr) {
+          out.append(p, static_cast<size_t>(nl - p + 1));
+          p = nl + 1;
+        } else {
+          out += p;
+          out += '\n';
+          break;
+        }
+      }
+    }
   }
   if (Stats::Enabled()) {
     out += FormatStats();

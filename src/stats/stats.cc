@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/debug/lockdep.h"
+
 namespace sunmt {
 namespace stats_internal {
 
@@ -175,6 +177,16 @@ std::string FormatStats() {
   }
   if (!any) {
     out += "  (no samples)\n";
+  }
+  lockdep::CountersSnapshot ld = lockdep::Snapshot();
+  if (ld.configured) {
+    snprintf(line, sizeof(line),
+             "  lockdep.checks=%llu edges=%llu inversions=%llu deadlocks=%llu\n",
+             static_cast<unsigned long long>(ld.checks),
+             static_cast<unsigned long long>(ld.edges),
+             static_cast<unsigned long long>(ld.inversions),
+             static_cast<unsigned long long>(ld.deadlocks));
+    out += line;
   }
   return out;
 }

@@ -24,6 +24,10 @@ namespace {
 
 bool IsShared(const condvar_t* cvp) { return (cvp->type & THREAD_SYNC_SHARED) != 0; }
 
+uint32_t LdFlags(const condvar_t* cvp) {
+  return IsShared(cvp) ? static_cast<uint32_t>(lockdep::kFlagShared) : 0u;  // condvars have no owner
+}
+
 }  // namespace
 
 void cv_init(condvar_t* cvp, int type, void* arg) {
@@ -33,6 +37,8 @@ void cv_init(condvar_t* cvp, int type, void* arg) {
   cvp->wait_head = nullptr;
   cvp->wait_tail = nullptr;
   cvp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
+  lockdep::OnInit(&cvp->lockdep_dbg, lockdep::kCondvar,
+                  reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 void cv_wait(condvar_t* cvp, mutex_t* mutexp) {
@@ -42,7 +48,13 @@ void cv_wait(condvar_t* cvp, mutex_t* mutexp) {
     int64_t t0 = SyncWaitStartNs();
     {
       KernelWaitScope wait(/*indefinite=*/true);
+      if (lockdep::Enabled()) {
+        lockdep::OnBlock(&cvp->lockdep_dbg, lockdep::kCondvar, LdFlags(cvp));
+      }
       FutexWait(&cvp->seq, seq, /*shared=*/true);
+      if (lockdep::Enabled()) {
+        lockdep::OnUnblock();
+      }
     }
     Tcb* cur = sched::CurrentTcb();
     SyncWaitEndNs(LatencyStat::kCondvarWaitShared, TraceEvent::kCvWait,
@@ -55,7 +67,13 @@ void cv_wait(condvar_t* cvp, mutex_t* mutexp) {
   WaitqPush(&cvp->wait_head, &cvp->wait_tail, self);
   mutex_exit(mutexp);
   int64_t t0 = SyncWaitStartNs();
+  if (lockdep::Enabled()) {
+    lockdep::OnBlock(&cvp->lockdep_dbg, lockdep::kCondvar, LdFlags(cvp));
+  }
   sched::Block(&cvp->qlock);  // releases qlock after the context save
+  if (lockdep::Enabled()) {
+    lockdep::OnUnblock();
+  }
   SyncWaitEndNs(LatencyStat::kCondvarWaitLocal, TraceEvent::kCvWait,
                 static_cast<uint64_t>(self->id), t0);
   mutex_enter(mutexp);
@@ -98,6 +116,10 @@ void cv_broadcast(condvar_t* cvp) {
     sched::Wake(chain);
     chain = next;
   }
+}
+
+void cv_set_name(condvar_t* cvp, const char* name) {
+  lockdep::SetName(&cvp->lockdep_dbg, lockdep::kCondvar, name);
 }
 
 }  // namespace sunmt

@@ -62,6 +62,13 @@ bool IsShared(const mutex_t* mp) { return (mp->type & THREAD_SYNC_SHARED) != 0; 
 bool IsSpin(const mutex_t* mp) { return (mp->type & SYNC_SPIN) != 0; }
 bool IsDebug(const mutex_t* mp) { return (mp->type & SYNC_DEBUG) != 0; }
 
+// Lockdep acquire/release flags for this mutex (owner tracked for the
+// wait-for graph; shared objects get pid-tagged owners + breadcrumbs).
+uint32_t LdFlags(const mutex_t* mp) {
+  return lockdep::kFlagOwner |
+         (IsShared(mp) ? static_cast<uint32_t>(lockdep::kFlagShared) : 0u);
+}
+
 // The local blocking variants (adaptive + debug) maintain the owner token the
 // owner-aware spin policy reads; spin and shared variants never block a
 // thread on the waitq, so they skip the bookkeeping.
@@ -148,8 +155,17 @@ void SharedEnter(mutex_t* mp) {
   {
     KernelWaitScope wait(/*indefinite=*/true);
     while (mp->word.exchange(kContended, std::memory_order_acquire) != kFree) {
+      if (lockdep::Enabled()) {
+        // Publishes breadcrumbs into our held shared locks and walks the
+        // wait-for graph: with seq_cst publish-then-walk, whichever process
+        // closes a cross-process cycle sees it before sleeping forever.
+        lockdep::OnBlock(&mp->lockdep_dbg, lockdep::kMutex, LdFlags(mp));
+      }
       FutexWait(&mp->word, kContended, /*shared=*/true);
     }
+  }
+  if (lockdep::Enabled()) {
+    lockdep::OnUnblock();
   }
   SyncWaitEndNs(LatencyStat::kMutexWaitShared, TraceEvent::kMutexWait,
                 CurrentTid(), t0);
@@ -231,8 +247,14 @@ void LocalEnter(mutex_t* mp) {
     if (IsDebug(mp)) {
       DebugCheckForDeadlock(mp, self);  // publishes the wait-for edge first
     }
+    if (lockdep::Enabled()) {
+      lockdep::OnBlock(&mp->lockdep_dbg, lockdep::kMutex, LdFlags(mp));
+    }
     WaitqPush(&mp->wait_head, &mp->wait_tail, self);
     sched::Block(&mp->qlock);  // releases qlock after the context save
+    if (lockdep::Enabled()) {
+      lockdep::OnUnblock();
+    }
     if (IsDebug(mp)) {
       self->waiting_for_mutex.store(nullptr, std::memory_order_release);
     }
@@ -264,6 +286,8 @@ void mutex_init(mutex_t* mp, int type, void* arg) {
   mp->owner_token.store(0, std::memory_order_relaxed);
   mp->acquired_ns = 0;
   mp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
+  lockdep::OnInit(&mp->lockdep_dbg, lockdep::kMutex,
+                  reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 void mutex_enter(mutex_t* mp) {
@@ -271,10 +295,20 @@ void mutex_enter(mutex_t* mp) {
     Tcb* self = sched::CurrentTcbOrAdopt();
     SUNMT_CHECK(mp->owner != self);  // recursive enter is a bracketing error
   }
+  const uintptr_t caller =
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  if (lockdep::Enabled()) {
+    // Order check runs before the acquire: an inversion is reported at the
+    // second acquisition site even if the schedule never deadlocks.
+    lockdep::OnAcquireCheck(&mp->lockdep_dbg, lockdep::kMutex, caller);
+  }
   if (IsShared(mp)) {
     SharedEnter(mp);
   } else {
     LocalEnter(mp);
+  }
+  if (lockdep::Enabled()) {
+    lockdep::OnAcquired(&mp->lockdep_dbg, lockdep::kMutex, caller, LdFlags(mp));
   }
   if (TracksOwnerToken(mp)) {
     PublishOwnerToken(mp);
@@ -288,6 +322,11 @@ void mutex_enter(mutex_t* mp) {
 }
 
 void mutex_exit(mutex_t* mp) {
+  if (lockdep::Enabled()) {
+    // Before the word releases: a racing new owner must not see stale
+    // ownership, and must not have its fresh ownership wiped by this clear.
+    lockdep::OnRelease(&mp->lockdep_dbg, LdFlags(mp));
+  }
   if (IsDebug(mp)) {
     // "It is an error for a thread to release a lock not held by the thread."
     Tcb* self = sched::CurrentTcbOrAdopt();
@@ -327,7 +366,22 @@ int mutex_tryenter(mutex_t* mp) {
   if (ok && Stats::Enabled()) {
     mp->acquired_ns = MonotonicNowNs();
   }
+  if (ok && lockdep::Enabled()) {
+    // kFlagTry: a trylock cannot deadlock, so it adds no order edges.
+    lockdep::OnAcquired(&mp->lockdep_dbg, lockdep::kMutex,
+                        reinterpret_cast<uintptr_t>(__builtin_return_address(0)),
+                        LdFlags(mp) | lockdep::kFlagTry);
+  }
   return ok ? 1 : 0;
+}
+
+void mutex_set_name(mutex_t* mp, const char* name) {
+  lockdep::SetName(&mp->lockdep_dbg, lockdep::kMutex, name);
+}
+
+void mutex_set_order(mutex_t* mp, int level) {
+  lockdep::SetOrder(&mp->lockdep_dbg, lockdep::kMutex, level,
+                    reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 }  // namespace sunmt

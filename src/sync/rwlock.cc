@@ -35,6 +35,13 @@ constexpr uint8_t kModeWriter = 1;
 
 bool IsShared(const rwlock_t* rwlp) { return (rwlp->type & THREAD_SYNC_SHARED) != 0; }
 
+// Only a writer hold is exclusive ownership the wait-for graph can follow;
+// reader holds still enter the held stack / order graph.
+uint32_t LdFlags(const rwlock_t* rwlp, rw_type_t type) {
+  return (type == RW_WRITER ? static_cast<uint32_t>(lockdep::kFlagOwner) : 0u) |
+         (IsShared(rwlp) ? static_cast<uint32_t>(lockdep::kFlagShared) : 0u);
+}
+
 // ---- Local variant ----------------------------------------------------------
 
 // Admits queued threads after the lock became free. Called with qlock held;
@@ -95,9 +102,15 @@ void LocalEnter(rwlock_t* rwlp, rw_type_t type) {
     self->wait_mode = kModeWriter;
     ++rwlp->waiting_writers;
   }
+  if (lockdep::Enabled()) {
+    lockdep::OnBlock(&rwlp->lockdep_dbg, lockdep::kRwlock, 0);
+  }
   WaitqPush(&rwlp->wait_head, &rwlp->wait_tail, self);
   int64_t t0 = SyncWaitStartNs();
   sched::Block(&rwlp->qlock);
+  if (lockdep::Enabled()) {
+    lockdep::OnUnblock();
+  }
   // Direct hand-off: the waker already transferred ownership to us.
   SyncWaitEndNs(LatencyStat::kRwlockWaitLocal, TraceEvent::kRwWait,
                 static_cast<uint64_t>(self->id), t0);
@@ -187,8 +200,14 @@ int LocalTryUpgrade(rwlock_t* rwlp) {
   // Other readers hold the lock: wait for them to drain (new readers are kept
   // out while an upgrade is pending).
   rwlp->upgrader = self;
+  if (lockdep::Enabled()) {
+    lockdep::OnBlock(&rwlp->lockdep_dbg, lockdep::kRwlock, 0);
+  }
   int64_t t0 = SyncWaitStartNs();
   sched::Block(&rwlp->qlock);
+  if (lockdep::Enabled()) {
+    lockdep::OnUnblock();
+  }
   // The last exiting reader converted our hold to a writer lock.
   SyncWaitEndNs(LatencyStat::kRwlockWaitLocal, TraceEvent::kRwWait,
                 static_cast<uint64_t>(self->id), t0);
@@ -224,8 +243,17 @@ void SharedEnter(rwlock_t* rwlp, rw_type_t type) {
       if (t0 == 0) {
         t0 = SyncWaitStartNs();
       }
-      KernelWaitScope wait(/*indefinite=*/true);
-      FutexWait(word, s, /*shared=*/true);
+      if (lockdep::Enabled()) {
+        lockdep::OnBlock(&rwlp->lockdep_dbg, lockdep::kRwlock,
+                         lockdep::kFlagShared);
+      }
+      {
+        KernelWaitScope wait(/*indefinite=*/true);
+        FutexWait(word, s, /*shared=*/true);
+      }
+      if (lockdep::Enabled()) {
+        lockdep::OnUnblock();
+      }
     }
   }
   for (;;) {
@@ -248,8 +276,17 @@ void SharedEnter(rwlock_t* rwlp, rw_type_t type) {
     if (t0 == 0) {
       t0 = SyncWaitStartNs();
     }
-    KernelWaitScope wait(/*indefinite=*/true);
-    FutexWait(word, s, /*shared=*/true);
+    if (lockdep::Enabled()) {
+      lockdep::OnBlock(&rwlp->lockdep_dbg, lockdep::kRwlock,
+                       lockdep::kFlagShared);
+    }
+    {
+      KernelWaitScope wait(/*indefinite=*/true);
+      FutexWait(word, s, /*shared=*/true);
+    }
+    if (lockdep::Enabled()) {
+      lockdep::OnUnblock();
+    }
   }
 }
 
@@ -313,17 +350,36 @@ void rw_init(rwlock_t* rwlp, int type, void* arg) {
   rwlp->waiting_writers = 0;
   rwlp->upgrader = nullptr;
   rwlp->qlock.Reset();  // storage may carry a stale locked image (see sema_init)
+  lockdep::OnInit(&rwlp->lockdep_dbg, lockdep::kRwlock,
+                  reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 void rw_enter(rwlock_t* rwlp, rw_type_t type) {
+  const uintptr_t caller =
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  if (lockdep::Enabled()) {
+    lockdep::OnAcquireCheck(&rwlp->lockdep_dbg, lockdep::kRwlock, caller);
+  }
   if (IsShared(rwlp)) {
     SharedEnter(rwlp, type);
   } else {
     LocalEnter(rwlp, type);
   }
+  if (lockdep::Enabled()) {
+    lockdep::OnAcquired(&rwlp->lockdep_dbg, lockdep::kRwlock, caller,
+                        LdFlags(rwlp, type));
+  }
 }
 
 void rw_exit(rwlock_t* rwlp) {
+  if (lockdep::Enabled()) {
+    // The caller is either the writer (bit set, stable while held) or one of
+    // the readers; only a writer exit clears ownership.
+    bool was_writer =
+        (rwlp->state.load(std::memory_order_relaxed) & kWriterBit) != 0;
+    lockdep::OnRelease(&rwlp->lockdep_dbg,
+                       LdFlags(rwlp, was_writer ? RW_WRITER : RW_READER));
+  }
   if (IsShared(rwlp)) {
     SharedExit(rwlp);
   } else {
@@ -332,10 +388,19 @@ void rw_exit(rwlock_t* rwlp) {
 }
 
 int rw_tryenter(rwlock_t* rwlp, rw_type_t type) {
-  return IsShared(rwlp) ? SharedTryEnter(rwlp, type) : LocalTryEnter(rwlp, type);
+  int ok = IsShared(rwlp) ? SharedTryEnter(rwlp, type) : LocalTryEnter(rwlp, type);
+  if (ok != 0 && lockdep::Enabled()) {
+    lockdep::OnAcquired(&rwlp->lockdep_dbg, lockdep::kRwlock,
+                        reinterpret_cast<uintptr_t>(__builtin_return_address(0)),
+                        LdFlags(rwlp, type) | lockdep::kFlagTry);
+  }
+  return ok;
 }
 
 void rw_downgrade(rwlock_t* rwlp) {
+  if (lockdep::Enabled()) {
+    lockdep::OnDowngrade(&rwlp->lockdep_dbg);
+  }
   if (IsShared(rwlp)) {
     SharedDowngrade(rwlp);
   } else {
@@ -344,7 +409,22 @@ void rw_downgrade(rwlock_t* rwlp) {
 }
 
 int rw_tryupgrade(rwlock_t* rwlp) {
-  return IsShared(rwlp) ? SharedTryUpgrade(rwlp) : LocalTryUpgrade(rwlp);
+  int ok = IsShared(rwlp) ? SharedTryUpgrade(rwlp) : LocalTryUpgrade(rwlp);
+  if (ok != 0 && lockdep::Enabled()) {
+    lockdep::OnUpgrade(&rwlp->lockdep_dbg,
+                       IsShared(rwlp) ? static_cast<uint32_t>(lockdep::kFlagShared)
+                                      : 0u);
+  }
+  return ok;
+}
+
+void rw_set_name(rwlock_t* rwlp, const char* name) {
+  lockdep::SetName(&rwlp->lockdep_dbg, lockdep::kRwlock, name);
+}
+
+void rw_set_order(rwlock_t* rwlp, int level) {
+  lockdep::SetOrder(&rwlp->lockdep_dbg, lockdep::kRwlock, level,
+                    reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 }  // namespace sunmt

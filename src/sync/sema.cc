@@ -21,6 +21,15 @@ namespace {
 
 bool IsShared(const sema_t* sp) { return (sp->type & THREAD_SYNC_SHARED) != 0; }
 
+// Semaphores have no owner: a credit P'd here may be V'd by any thread (the
+// handshake idiom), so recording the last P-er as "owner" would fabricate
+// wait-for cycles out of ordinary ping-pong. Semas therefore stay out of the
+// deadlock walk entirely — no owner, no shared-memory breadcrumbs (a held
+// sema entry can outlive its arena mapping, so stamping it would touch
+// unmapped memory) — and participate only in the lock-order graph, where
+// sema-as-lock AB/BA misuse is still caught at the second acquisition site.
+uint32_t LdFlags(const sema_t*) { return 0; }
+
 void SharedP(sema_t* sp) {
   int64_t t0 = 0;  // started lazily: only the blocking path is a "wait"
   for (;;) {
@@ -40,8 +49,16 @@ void SharedP(sema_t* sp) {
     if (t0 == 0) {
       t0 = SyncWaitStartNs();
     }
-    KernelWaitScope wait(/*indefinite=*/true);
-    FutexWait(&sp->count, 0, /*shared=*/true);
+    if (lockdep::Enabled()) {
+      lockdep::OnBlock(&sp->lockdep_dbg, lockdep::kSema, LdFlags(sp));
+    }
+    {
+      KernelWaitScope wait(/*indefinite=*/true);
+      FutexWait(&sp->count, 0, /*shared=*/true);
+    }
+    if (lockdep::Enabled()) {
+      lockdep::OnUnblock();
+    }
   }
 }
 
@@ -63,11 +80,21 @@ void sema_init(sema_t* sp, unsigned int count, int type, void* arg) {
   // stale locked qlock image — e.g. memcpy'd from a variable caught mid
   // critical section — which would deadlock the first waiter forever.
   sp->qlock.Reset();
+  lockdep::OnInit(&sp->lockdep_dbg, lockdep::kSema,
+                  reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 void sema_p(sema_t* sp) {
+  const uintptr_t caller =
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  if (lockdep::Enabled()) {
+    lockdep::OnAcquireCheck(&sp->lockdep_dbg, lockdep::kSema, caller);
+  }
   if (IsShared(sp)) {
     SharedP(sp);
+    if (lockdep::Enabled()) {
+      lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller, LdFlags(sp));
+    }
     return;
   }
   Tcb* self = sched::CurrentTcbOrAdopt();
@@ -76,17 +103,30 @@ void sema_p(sema_t* sp) {
   if (cur > 0) {
     sp->count.store(cur - 1, std::memory_order_relaxed);
     sp->qlock.Unlock();
+    if (lockdep::Enabled()) {
+      lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller, LdFlags(sp));
+    }
     return;
+  }
+  if (lockdep::Enabled()) {
+    lockdep::OnBlock(&sp->lockdep_dbg, lockdep::kSema, LdFlags(sp));
   }
   WaitqPush(&sp->wait_head, &sp->wait_tail, self);
   int64_t t0 = SyncWaitStartNs();
   sched::Block(&sp->qlock);
+  if (lockdep::Enabled()) {
+    lockdep::OnUnblock();
+    lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller, LdFlags(sp));
+  }
   // Woken by sema_v with the credit handed off directly; nothing to re-check.
   SyncWaitEndNs(LatencyStat::kSemaWaitLocal, TraceEvent::kSemaWait,
                 static_cast<uint64_t>(self->id), t0);
 }
 
 void sema_v(sema_t* sp) {
+  if (lockdep::Enabled()) {
+    lockdep::OnRelease(&sp->lockdep_dbg, LdFlags(sp));
+  }
   if (IsShared(sp)) {
     SharedV(sp);
     return;
@@ -106,23 +146,45 @@ void sema_v(sema_t* sp) {
 }
 
 int sema_tryp(sema_t* sp) {
+  const uintptr_t caller =
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0));
   if (IsShared(sp)) {
     uint32_t cur = sp->count.load(std::memory_order_relaxed);
     while (cur > 0) {
       if (sp->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
                                           std::memory_order_relaxed)) {
+        if (lockdep::Enabled()) {
+          lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller,
+                              LdFlags(sp) | lockdep::kFlagTry);
+        }
         return 1;
       }
     }
     return 0;
   }
-  SpinLockGuard guard(sp->qlock);
-  uint32_t cur = sp->count.load(std::memory_order_relaxed);
-  if (cur == 0) {
-    return 0;
+  bool ok = false;
+  {
+    SpinLockGuard guard(sp->qlock);
+    uint32_t cur = sp->count.load(std::memory_order_relaxed);
+    if (cur > 0) {
+      sp->count.store(cur - 1, std::memory_order_relaxed);
+      ok = true;
+    }
   }
-  sp->count.store(cur - 1, std::memory_order_relaxed);
-  return 1;
+  if (ok && lockdep::Enabled()) {
+    lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller,
+                        LdFlags(sp) | lockdep::kFlagTry);
+  }
+  return ok ? 1 : 0;
+}
+
+void sema_set_name(sema_t* sp, const char* name) {
+  lockdep::SetName(&sp->lockdep_dbg, lockdep::kSema, name);
+}
+
+void sema_set_order(sema_t* sp, int level) {
+  lockdep::SetOrder(&sp->lockdep_dbg, lockdep::kSema, level,
+                    reinterpret_cast<uintptr_t>(__builtin_return_address(0)));
 }
 
 }  // namespace sunmt

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/debug/lockdep.h"
 #include "src/util/spinlock.h"
 
 namespace sunmt {
@@ -65,6 +66,10 @@ struct mutex_t {
   // Hold-time metrics: enter timestamp, written by the holder while stats are
   // enabled (0 otherwise). Strict bracketing makes this race-free.
   int64_t acquired_ns{0};
+  // Lock-order / deadlock detector state (SUNMT_DEBUG=lockorder); all-zero is
+  // valid. In shared memory for THREAD_SYNC_SHARED variables — only pid-tagged
+  // fields are trusted across processes (see lockdep.h).
+  lockdep::ObjDebug lockdep_dbg;
 };
 
 struct condvar_t {
@@ -73,6 +78,7 @@ struct condvar_t {
   SpinLock qlock;
   Tcb* wait_head{nullptr};
   Tcb* wait_tail{nullptr};
+  lockdep::ObjDebug lockdep_dbg;
 };
 
 struct sema_t {
@@ -81,6 +87,7 @@ struct sema_t {
   SpinLock qlock;
   Tcb* wait_head{nullptr};
   Tcb* wait_tail{nullptr};
+  lockdep::ObjDebug lockdep_dbg;
 };
 
 struct rwlock_t {
@@ -93,6 +100,7 @@ struct rwlock_t {
   Tcb* wait_tail{nullptr};
   uint32_t waiting_writers{0};  // local variant, guarded by qlock
   Tcb* upgrader{nullptr};       // local variant: thread blocked in rw_tryupgrade
+  lockdep::ObjDebug lockdep_dbg;
 };
 
 // ---- Mutex locks ---------------------------------------------------------------
@@ -131,6 +139,23 @@ void rw_downgrade(rwlock_t* rwlp);
 // the other readers to leave. (The shared variant additionally fails instead of
 // waiting when other readers hold the lock — a documented variant difference.)
 int rw_tryupgrade(rwlock_t* rwlp);
+
+// ---- Debug naming / lock-order annotation ------------------------------------
+// Lock-order and deadlock reports (SUNMT_DEBUG=lockorder, src/debug/lockdep.h)
+// print `log_lock` instead of `mutex@0x40f3a2` once a variable is named.
+// Variables sharing a name share a lock-order class. Names work whether or not
+// the detector is enabled; unnamed variables get a class derived from their
+// init (or first-acquire) site. *_set_order() places the variable's class in a
+// locking hierarchy: acquiring strictly upward is exempt from order tracking,
+// and same-class nesting becomes legal (the take-buckets-in-address-order
+// idiom). Level must be >= 1.
+void mutex_set_name(mutex_t* mp, const char* name);
+void cv_set_name(condvar_t* cvp, const char* name);
+void sema_set_name(sema_t* sp, const char* name);
+void rw_set_name(rwlock_t* rwlp, const char* name);
+void mutex_set_order(mutex_t* mp, int level);
+void sema_set_order(sema_t* sp, int level);
+void rw_set_order(rwlock_t* rwlp, int level);
 
 }  // namespace sunmt
 

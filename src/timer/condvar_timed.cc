@@ -87,7 +87,15 @@ int cv_timedwait(condvar_t* cvp, mutex_t* mutexp, int64_t timeout_ns) {
   auto* ctx = new TimeoutCtx{cvp, self};
   timer_id_t timer = timer_arm_callback(timeout_ns, &CvTimeoutFire, ctx, generation);
   mutex_exit(mutexp);
+  if (lockdep::Enabled()) {
+    // Condvars have no owner, so this records "waiting" for introspection
+    // without ever fabricating a wait-for cycle out of a bounded wait.
+    lockdep::OnBlock(&cvp->lockdep_dbg, lockdep::kCondvar, 0);
+  }
   sched::Block(&cvp->qlock);  // releases qlock after the context save
+  if (lockdep::Enabled()) {
+    lockdep::OnUnblock();
+  }
   bool timed_out = self->timed_out;
   if (!timed_out) {
     if (timer_cancel(timer) == 0) {

@@ -75,8 +75,18 @@ int sema_p_timed(sema_t* sp, int64_t timeout_ns) {
   if (timeout_ns < 0) {
     timeout_ns = 0;
   }
+  // Lockdep treats a timed P like a trylock: the wait is bounded, so it adds
+  // no order edges and never joins the wait-for graph — but a success still
+  // enters the held stack and records ownership.
+  const uintptr_t caller =
+      reinterpret_cast<uintptr_t>(__builtin_return_address(0));
+  const uint32_t ld_flags = lockdep::kFlagTry;
   if ((sp->type & THREAD_SYNC_SHARED) != 0) {
-    return SharedPTimed(sp, timeout_ns);
+    int ok = SharedPTimed(sp, timeout_ns);
+    if (ok != 0 && lockdep::Enabled()) {
+      lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller, ld_flags);
+    }
+    return ok;
   }
   Tcb* self = sched::CurrentTcbOrAdopt();
   sp->qlock.Lock();
@@ -84,6 +94,9 @@ int sema_p_timed(sema_t* sp, int64_t timeout_ns) {
   if (cur > 0) {
     sp->count.store(cur - 1, std::memory_order_relaxed);
     sp->qlock.Unlock();
+    if (lockdep::Enabled()) {
+      lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller, ld_flags);
+    }
     return 1;
   }
   self->timed_out = false;
@@ -104,6 +117,9 @@ int sema_p_timed(sema_t* sp, int64_t timeout_ns) {
     }
   }
   // Timed out: no credit consumed. Woken: sema_v handed the credit directly.
+  if (!timed_out && lockdep::Enabled()) {
+    lockdep::OnAcquired(&sp->lockdep_dbg, lockdep::kSema, caller, ld_flags);
+  }
   return timed_out ? 0 : 1;
 }
 

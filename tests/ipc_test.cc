@@ -307,6 +307,9 @@ TEST(CrossProcess, RecordLocksInAMappedFile) {
     for (int i = 0; i < kRecords; ++i) {
       auto* rec = arena.New<Record>();
       mutex_init(&rec->lock, THREAD_SYNC_SHARED, nullptr);
+      // Same-class nesting below is the sanctioned address-order idiom; tell
+      // the lock-order detector so (see lockdep::SetOrder).
+      mutex_set_order(&rec->lock, 10);
       rec->balance = 1000;
     }
   }
