@@ -35,10 +35,12 @@ fi
 prev_micro="$(mktemp)"
 prev_scale="$(mktemp)"
 prev_mutex="$(mktemp)"
-trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex"' EXIT
+prev_http="$(mktemp)"
+trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex" "$prev_http"' EXIT
 cp "$repo/BENCH_abl_microtask.json" "$prev_micro" 2>/dev/null || true
 cp "$repo/BENCH_abl_thread_scale.json" "$prev_scale" 2>/dev/null || true
 cp "$repo/BENCH_abl_mutex_variants.json" "$prev_mutex" 2>/dev/null || true
+cp "$repo/BENCH_abl_http_load.json" "$prev_http" 2>/dev/null || true
 
 failed=0
 for bin in "${benches[@]}"; do
@@ -120,6 +122,42 @@ print(f"  geomean vs baseline: {cost:+.2%}  (noise floor {noise:.2%}, allowed {a
 if cost > allowed:
     sys.exit(f"lockdep disabled-path cost {cost:.2%} exceeds {allowed:.2%}")
 print("  lockdep disabled-path cost within noise")
+PY
+fi
+
+# ---- HTTP throughput regression gate ----------------------------------------
+# The HTTP server is the end-to-end consumer of the netpoller + unbound-thread
+# stack; fail if keep-alive requests/s at either connection scale regresses
+# more than 10% + the measured noise floor against the recorded baseline.
+# Throughput on the shared 1-CPU box swings ~±25% run to run, so the gate
+# takes the best of two runs (the baseline records a median-of-runs figure,
+# not a best-of, for the same reason).
+httpb="$build/bench/abl_http_load"
+if [[ -s "$prev_http" && -s "$repo/BENCH_abl_http_load.json" && -x "$httpb" && $failed -eq 0 ]]; then
+  echo "== http throughput (best-of-2 reqs/s vs recorded baseline) =="
+  out2="$("$httpb" "$@" 2>&1)" || { echo "$out2"; exit 1; }
+  rerun="$(printf '%s\n' "$out2" | grep -E '^BENCH_abl_http_load\.json ' | tail -1)"
+  python3 - "$prev_http" "$repo/BENCH_abl_http_load.json" <<PY || failed=1
+import json, sys
+prev = json.load(open(sys.argv[1]))["metrics"]
+run1 = json.load(open(sys.argv[2]))["metrics"]
+run2 = json.loads("""${rerun#BENCH_abl_http_load.json }""")["metrics"]
+bad = False
+for key in ("c1k_reqs_per_s", "c10k_reqs_per_s"):
+    if key not in prev or key not in run1 or key not in run2:
+        print(f"  {key} missing from baseline or fresh runs; skipping")
+        continue
+    best = max(run1[key], run2[key])
+    noise = best / min(run1[key], run2[key]) - 1
+    allowed = 0.10 + noise
+    delta = best / prev[key] - 1
+    print(f"  {key}: {prev[key]:.0f} -> {best:.0f} best-of-2 "
+          f"({delta:+.2%}, noise floor {noise:.2%}, allowed -{allowed:.2%})")
+    if delta < -allowed:
+        bad = True
+if bad:
+    sys.exit("http reqs/s regressed beyond 10% + noise floor")
+print("  http throughput within bounds")
 PY
 fi
 

@@ -1,0 +1,97 @@
+#include "src/http/access_log.h"
+
+#include <stdio.h>
+#include <string.h>
+
+#include "src/io/io.h"
+
+namespace sunmt {
+
+// The one-byte stop sentinel: real lines always start with 'c' ("conn=").
+static constexpr char kStopSentinel = '\0';
+
+HttpAccessLog::HttpAccessLog(int fd, uint32_t capacity, bool blocking)
+    : fd_(fd), blocking_(blocking) {
+  if (capacity == 0) {
+    capacity = 1;
+  }
+  size_t footprint = MessageQueue::FootprintBytes(kMaxLine, capacity);
+  queue_memory_ = new char[footprint]();
+  queue_ = MessageQueue::CreateAt(queue_memory_, kMaxLine, capacity,
+                                  /*sync_type=*/0);
+  logger_ = thread_create(nullptr, 0, &LoggerMain, this, THREAD_WAIT);
+}
+
+HttpAccessLog::~HttpAccessLog() {
+  Stop();
+  delete[] queue_memory_;
+}
+
+void HttpAccessLog::Log(uint64_t conn_id, std::string_view method,
+                        std::string_view target, int status,
+                        size_t response_bytes, int64_t duration_us) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    lines_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  char line[kMaxLine];
+  int n = snprintf(line, sizeof(line),
+                   "conn=%llu \"%.*s %.*s\" %d %zuB %lldus\n",
+                   static_cast<unsigned long long>(conn_id),
+                   static_cast<int>(method.size()), method.data(),
+                   static_cast<int>(target.size()), target.data(), status,
+                   response_bytes, static_cast<long long>(duration_us));
+  if (n < 0) {
+    return;
+  }
+  size_t len = static_cast<size_t>(n) < sizeof(line) ? static_cast<size_t>(n)
+                                                     : sizeof(line) - 1;
+  bool queued = blocking_ ? queue_->Send(line, len) : queue_->TrySend(line, len);
+  if (!queued) {
+    lines_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpAccessLog::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  if (logger_ != 0) {
+    // The sentinel is queued behind every line already sent, so the logger
+    // drains the backlog before exiting.
+    queue_->Send(&kStopSentinel, 1);
+    thread_wait(logger_);
+    logger_ = 0;
+  }
+}
+
+void HttpAccessLog::LoggerMain(void* arg) {
+  auto* log = static_cast<HttpAccessLog*>(arg);
+  char line[kMaxLine];
+  bool sink_ok = true;  // on sink failure keep draining so Stop() never hangs
+  for (;;) {
+    size_t len = log->queue_->Recv(line, sizeof(line));
+    if (len == 1 && line[0] == kStopSentinel) {
+      return;
+    }
+    if (len > sizeof(line)) {
+      len = sizeof(line);  // oversized messages cannot happen; be safe
+    }
+    size_t off = 0;
+    while (sink_ok && off < len) {
+      ssize_t w = io_write(log->fd_, line + off, len - off);
+      if (w <= 0) {
+        sink_ok = false;  // logging must not crash or wedge the server
+        break;
+      }
+      off += static_cast<size_t>(w);
+    }
+    if (sink_ok) {
+      log->lines_written_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      log->lines_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace sunmt

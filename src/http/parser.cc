@@ -1,0 +1,518 @@
+#include "src/http/parser.h"
+
+#include <cstring>
+
+namespace sunmt {
+namespace {
+
+// RFC 7230 tchar: the characters legal in tokens (methods, header names).
+bool IsTokenChar(char c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+    return true;
+  }
+  return strchr("!#$%&'*+-.^_`|~", c) != nullptr && c != '\0';
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!IsTokenChar(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Request targets and reason phrases must be free of controls; the target
+// additionally has no spaces (the start-line split guarantees that).
+bool HasCtl(std::string_view s) {
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+char ToLowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// "HTTP/x.y" with single digits. Returns false on malformed.
+bool ParseVersion(std::string_view s, int* major, int* minor) {
+  if (s.size() != 8 || s.compare(0, 5, "HTTP/") != 0 || s[6] != '.') {
+    return false;
+  }
+  if (s[5] < '0' || s[5] > '9' || s[7] < '0' || s[7] > '9') {
+    return false;
+  }
+  *major = s[5] - '0';
+  *minor = s[7] - '0';
+  return true;
+}
+
+}  // namespace
+
+bool HttpNamesEqual(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLowerAscii(a[i]) != ToLowerAscii(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HttpListContains(std::string_view list, std::string_view token) {
+  while (!list.empty()) {
+    size_t comma = list.find(',');
+    std::string_view item = TrimOws(list.substr(0, comma));
+    if (HttpNamesEqual(item, token)) {
+      return true;
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    list.remove_prefix(comma + 1);
+  }
+  return false;
+}
+
+const std::string* HttpMessage::FindHeader(std::string_view name) const {
+  for (const HttpHeader& h : headers) {
+    if (HttpNamesEqual(h.name, name)) {
+      return &h.value;
+    }
+  }
+  return nullptr;
+}
+
+void HttpMessage::Clear() {
+  method.clear();
+  target.clear();
+  status = 0;
+  reason.clear();
+  version_major = 1;
+  version_minor = 1;
+  headers.clear();
+  body.clear();
+  content_length = -1;
+  chunked = false;
+  keep_alive = true;
+}
+
+HttpParser::HttpParser(Role role, const Limits& limits)
+    : role_(role), limits_(limits) {}
+
+void HttpParser::Feed(const void* data, size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+void HttpParser::Reset() {
+  state_ = State::kStartLine;
+  buf_.clear();
+  pos_ = 0;
+  header_bytes_ = 0;
+  chunk_remaining_ = 0;
+  msg_.Clear();
+  error_status_ = 0;
+  error_reason_ = "";
+}
+
+void HttpParser::Compact() {
+  if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+HttpParser::Result HttpParser::Fail(int status, const char* reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = reason;
+  return kError;
+}
+
+bool HttpParser::TakeLine(std::string_view* line, size_t max_len,
+                          int too_long_status) {
+  size_t nl = buf_.find('\n', pos_);
+  if (nl == std::string::npos) {
+    if (buffered() > max_len) {
+      Fail(too_long_status, "line too long");
+    }
+    return false;
+  }
+  size_t end = nl;
+  if (end > pos_ && buf_[end - 1] == '\r') {
+    --end;  // CRLF; a bare LF is also accepted (RFC 7230 robustness)
+  }
+  if (end - pos_ > max_len) {
+    Fail(too_long_status, "line too long");
+    return false;
+  }
+  *line = std::string_view(buf_).substr(pos_, end - pos_);
+  pos_ = nl + 1;
+  return true;
+}
+
+bool HttpParser::ParseStartLine(std::string_view line) {
+  if (role_ == kRequest) {
+    // method SP request-target SP HTTP-version
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      Fail(400, "malformed request line");
+      return false;
+    }
+    std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string_view version = line.substr(sp2 + 1);
+    if (!IsToken(method)) {
+      Fail(400, "invalid method token");
+      return false;
+    }
+    if (target.empty() || HasCtl(target)) {
+      Fail(400, "invalid request target");
+      return false;
+    }
+    if (!ParseVersion(version, &msg_.version_major, &msg_.version_minor)) {
+      Fail(400, "malformed HTTP version");
+      return false;
+    }
+    if (msg_.version_major != 1) {
+      Fail(505, "unsupported HTTP version");
+      return false;
+    }
+    msg_.method.assign(method);
+    msg_.target.assign(target);
+    return true;
+  }
+  // HTTP-version SP status-code SP reason-phrase
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos ||
+      !ParseVersion(line.substr(0, sp1), &msg_.version_major,
+                    &msg_.version_minor) ||
+      msg_.version_major != 1) {
+    Fail(400, "malformed status line");
+    return false;
+  }
+  std::string_view rest = line.substr(sp1 + 1);
+  size_t sp2 = rest.find(' ');
+  std::string_view code = rest.substr(0, sp2);
+  if (code.size() != 3 || code[0] < '1' || code[0] > '9' || code[1] < '0' ||
+      code[1] > '9' || code[2] < '0' || code[2] > '9') {
+    Fail(400, "malformed status code");
+    return false;
+  }
+  msg_.status = (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
+  if (sp2 != std::string_view::npos) {
+    std::string_view reason = rest.substr(sp2 + 1);
+    if (HasCtl(reason)) {
+      Fail(400, "invalid reason phrase");
+      return false;
+    }
+    msg_.reason.assign(reason);
+  }
+  return true;
+}
+
+bool HttpParser::ParseHeaderLine(std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    // obs-fold: deprecated line folding; a server MAY reject (RFC 7230 §3.2.4).
+    Fail(400, "obsolete header folding");
+    return false;
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    Fail(400, "header line without colon");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Includes the "space before colon" smuggling vector (RFC 7230 §3.2.4).
+    Fail(400, "invalid header name");
+    return false;
+  }
+  std::string_view value = TrimOws(line.substr(colon + 1));
+  if (HasCtl(value)) {
+    Fail(400, "control character in header value");
+    return false;
+  }
+  if (msg_.headers.size() >= limits_.max_headers) {
+    Fail(431, "too many headers");
+    return false;
+  }
+  msg_.headers.push_back(HttpHeader{std::string(name), std::string(value)});
+  return true;
+}
+
+bool HttpParser::FinishHeaders() {
+  // Body framing (RFC 7230 §3.3.3): Transfer-Encoding beats Content-Length;
+  // the only transfer coding implemented is a final "chunked".
+  const std::string* te = msg_.FindHeader("Transfer-Encoding");
+  if (te != nullptr) {
+    if (!HttpNamesEqual(TrimOws(*te), "chunked")) {
+      Fail(501, "unimplemented transfer coding");
+      return false;
+    }
+    msg_.chunked = true;
+  }
+  int64_t content_length = -1;
+  for (const HttpHeader& h : msg_.headers) {
+    if (!HttpNamesEqual(h.name, "Content-Length")) {
+      continue;
+    }
+    if (h.value.empty() || h.value.size() > 18) {
+      Fail(400, "malformed Content-Length");
+      return false;
+    }
+    int64_t v = 0;
+    for (char c : h.value) {
+      if (c < '0' || c > '9') {
+        Fail(400, "malformed Content-Length");
+        return false;
+      }
+      v = v * 10 + (c - '0');
+    }
+    if (content_length >= 0 && v != content_length) {
+      // Conflicting lengths are a request-smuggling vector; refuse.
+      Fail(400, "conflicting Content-Length");
+      return false;
+    }
+    content_length = v;
+  }
+  if (!msg_.chunked) {
+    msg_.content_length = content_length;
+  }
+  if (msg_.content_length > static_cast<int64_t>(limits_.max_body_bytes)) {
+    Fail(413, "body too large");
+    return false;
+  }
+
+  // Keep-alive: HTTP/1.1 defaults to persistent unless "close"; HTTP/1.0
+  // persists only with an explicit "keep-alive".
+  const std::string* conn = msg_.FindHeader("Connection");
+  if (msg_.version_minor >= 1) {
+    msg_.keep_alive = conn == nullptr || !HttpListContains(*conn, "close");
+  } else {
+    msg_.keep_alive = conn != nullptr && HttpListContains(*conn, "keep-alive");
+  }
+
+  if (msg_.chunked) {
+    state_ = State::kChunkSize;
+  } else if (msg_.content_length > 0) {
+    chunk_remaining_ = static_cast<uint64_t>(msg_.content_length);
+    state_ = State::kBodyByLength;
+  } else if (role_ == kResponse && msg_.status != 204 && msg_.status != 304 &&
+             msg_.status >= 200 && msg_.content_length < 0) {
+    // No framing on a response that may carry a body: it runs to close.
+    state_ = State::kBodyUntilClose;
+  } else {
+    state_ = State::kStartLine;  // bodiless message: complete
+  }
+  return true;
+}
+
+HttpParser::Result HttpParser::Next(HttpMessage* out) {
+  if (state_ == State::kError) {
+    return kError;
+  }
+  for (;;) {
+    switch (state_) {
+      case State::kStartLine: {
+        // Skip empty line(s) before the start line (RFC 7230 §3.5).
+        while (pos_ < buf_.size() && (buf_[pos_] == '\r' || buf_[pos_] == '\n')) {
+          if (buf_[pos_] == '\r' &&
+              (pos_ + 1 >= buf_.size() || buf_[pos_ + 1] != '\n')) {
+            break;  // lone CR is not an empty line; let TakeLine reject it
+          }
+          pos_ += buf_[pos_] == '\r' ? 2 : 1;
+        }
+        std::string_view line;
+        if (!TakeLine(&line, limits_.max_start_line,
+                      role_ == kRequest ? 414 : 400)) {
+          Compact();
+          return state_ == State::kError ? kError : kNeedMore;
+        }
+        msg_.Clear();
+        header_bytes_ = 0;
+        if (!ParseStartLine(line)) {
+          return kError;
+        }
+        state_ = State::kHeaders;
+        break;
+      }
+      case State::kHeaders: {
+        std::string_view line;
+        if (!TakeLine(&line, limits_.max_header_bytes, 431)) {
+          Compact();
+          return state_ == State::kError ? kError : kNeedMore;
+        }
+        if (line.empty()) {
+          if (!FinishHeaders()) {
+            return kError;
+          }
+          if (state_ == State::kStartLine) {
+            *out = std::move(msg_);
+            msg_.Clear();
+            Compact();
+            return kMessage;
+          }
+          break;
+        }
+        header_bytes_ += line.size() + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return Fail(431, "header block too large");
+        }
+        if (!ParseHeaderLine(line)) {
+          return kError;
+        }
+        break;
+      }
+      case State::kBodyByLength: {
+        size_t take = buffered() < chunk_remaining_
+                          ? buffered()
+                          : static_cast<size_t>(chunk_remaining_);
+        msg_.body.append(buf_, pos_, take);
+        pos_ += take;
+        chunk_remaining_ -= take;
+        Compact();
+        if (chunk_remaining_ > 0) {
+          return kNeedMore;
+        }
+        state_ = State::kStartLine;
+        *out = std::move(msg_);
+        msg_.Clear();
+        return kMessage;
+      }
+      case State::kChunkSize: {
+        std::string_view line;
+        if (!TakeLine(&line, 256, 400)) {
+          Compact();
+          return state_ == State::kError ? kError : kNeedMore;
+        }
+        // chunk-size [; extensions] — extensions are ignored.
+        size_t end = line.find(';');
+        std::string_view hex = TrimOws(line.substr(0, end));
+        if (hex.empty() || hex.size() > 16) {
+          return Fail(400, "malformed chunk size");
+        }
+        uint64_t size = 0;
+        for (char c : hex) {
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            return Fail(400, "malformed chunk size");
+          }
+          size = size * 16 + static_cast<uint64_t>(digit);
+        }
+        if (msg_.body.size() + size > limits_.max_body_bytes) {
+          return Fail(413, "body too large");
+        }
+        if (size == 0) {
+          state_ = State::kTrailers;
+        } else {
+          chunk_remaining_ = size;
+          state_ = State::kChunkData;
+        }
+        break;
+      }
+      case State::kChunkData: {
+        size_t take = buffered() < chunk_remaining_
+                          ? buffered()
+                          : static_cast<size_t>(chunk_remaining_);
+        msg_.body.append(buf_, pos_, take);
+        pos_ += take;
+        chunk_remaining_ -= take;
+        Compact();
+        if (chunk_remaining_ > 0) {
+          return kNeedMore;
+        }
+        state_ = State::kChunkDataEnd;
+        break;
+      }
+      case State::kChunkDataEnd: {
+        std::string_view line;
+        if (!TakeLine(&line, 2, 400)) {
+          Compact();
+          return state_ == State::kError ? kError : kNeedMore;
+        }
+        if (!line.empty()) {
+          return Fail(400, "missing CRLF after chunk data");
+        }
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kTrailers: {
+        std::string_view line;
+        if (!TakeLine(&line, limits_.max_header_bytes, 431)) {
+          Compact();
+          return state_ == State::kError ? kError : kNeedMore;
+        }
+        if (line.empty()) {
+          state_ = State::kStartLine;
+          *out = std::move(msg_);
+          msg_.Clear();
+          Compact();
+          return kMessage;
+        }
+        // Trailer fields are parsed (and appended to headers) but carry no
+        // framing significance.
+        if (!ParseHeaderLine(line)) {
+          return kError;
+        }
+        break;
+      }
+      case State::kBodyUntilClose: {
+        msg_.body.append(buf_, pos_, buffered());
+        pos_ = buf_.size();
+        Compact();
+        return kNeedMore;  // completed only by Finish()
+      }
+      case State::kError:
+        return kError;
+    }
+  }
+}
+
+HttpParser::Result HttpParser::Finish(HttpMessage* out) {
+  if (state_ == State::kError) {
+    return kError;
+  }
+  if (state_ == State::kBodyUntilClose) {
+    msg_.body.append(buf_, pos_, buffered());
+    pos_ = buf_.size();
+    state_ = State::kStartLine;
+    *out = std::move(msg_);
+    msg_.Clear();
+    return kMessage;
+  }
+  if (state_ == State::kStartLine && buffered() == 0) {
+    return kNeedMore;  // clean EOF between messages
+  }
+  Fail(400, "message truncated by EOF");
+  return kError;
+}
+
+}  // namespace sunmt

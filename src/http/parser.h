@@ -1,0 +1,155 @@
+// Incremental HTTP/1.1 message parser.
+//
+// The netpoller made one-thread-per-connection cheap; this parser makes the
+// per-connection thread's read loop honest: bytes arrive from net_read in
+// arbitrary fragments (a request split byte-by-byte across reads, or several
+// pipelined requests in one read), and the parser carries its state across
+// Feed() calls so the connection code never re-frames the stream itself.
+//
+// One state machine serves both roles: kRequest parses request lines
+// (method/target/version) for the server, kResponse parses status lines for
+// in-process clients (tests, the load bench). Header framing and bodies
+// (Content-Length and chunked transfer coding, with extensions and trailers)
+// are shared. Robustness choices follow RFC 7230's recipient guidance: bare LF
+// accepted as a line terminator, leading empty lines before the start line
+// skipped, obs-fold and conflicting Content-Length rejected. Each error maps
+// to the status code the server should answer with (400/413/414/431/501/505)
+// before closing.
+//
+// The parser never allocates per byte: bytes accumulate in one buffer, and
+// completed messages move out their method/target/header strings. Pipelining
+// falls out of the design — Next() consumes exactly one message and leaves
+// the rest buffered for the next call.
+
+#ifndef SUNMT_SRC_HTTP_PARSER_H_
+#define SUNMT_SRC_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sunmt {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+// A parsed message. Request fields are valid under Role::kRequest, status
+// fields under Role::kResponse.
+struct HttpMessage {
+  std::string method;  // request: as sent (methods are case-sensitive tokens)
+  std::string target;  // request: origin-form target, undecoded
+  int status = 0;      // response
+  std::string reason;  // response
+  int version_major = 1;
+  int version_minor = 1;
+  std::vector<HttpHeader> headers;
+  std::string body;
+  int64_t content_length = -1;  // -1: no Content-Length header
+  bool chunked = false;         // body arrived with chunked transfer coding
+  bool keep_alive = true;       // version default + Connection header, computed
+
+  // Case-insensitive header lookup; nullptr if absent.
+  const std::string* FindHeader(std::string_view name) const;
+
+  void Clear();
+};
+
+class HttpParser {
+ public:
+  enum Role { kRequest, kResponse };
+  enum Result {
+    kNeedMore,  // no complete message buffered; Feed() more bytes
+    kMessage,   // *out holds the next message
+    kError,     // stream is unparseable; see error_status()/error_reason()
+  };
+
+  struct Limits {
+    size_t max_start_line = 8 * 1024;  // request/status line bytes
+    size_t max_header_bytes = 32 * 1024;
+    size_t max_headers = 128;
+    size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  explicit HttpParser(Role role) : HttpParser(role, Limits{}) {}
+  HttpParser(Role role, const Limits& limits);
+
+  // Appends raw socket bytes. Cheap; parsing happens in Next().
+  void Feed(const void* data, size_t len);
+
+  // Parses the next complete message out of the buffered bytes. After kError
+  // the parser is poisoned (the stream cannot be re-synchronized) until
+  // Reset().
+  Result Next(HttpMessage* out);
+
+  // Call at EOF: completes a kResponse body framed by connection close.
+  // Returns kMessage if the pending response is thereby complete, kError if
+  // EOF truncated a message, kNeedMore if nothing was pending.
+  Result Finish(HttpMessage* out);
+
+  // After kError: the status code the server should send before closing, and
+  // a short human reason for the log.
+  int error_status() const { return error_status_; }
+  const char* error_reason() const { return error_reason_; }
+
+  // Bytes fed but not yet consumed by a completed message.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+  // True while a message is partially parsed (or partially buffered): the
+  // connection loop uses this to choose the mid-request I/O timeout over the
+  // keep-alive idle timeout.
+  bool mid_message() const { return state_ != State::kStartLine || buffered() > 0; }
+
+  // Drops all buffered bytes and state (new connection / after kError).
+  void Reset();
+
+ private:
+  enum class State : uint8_t {
+    kStartLine,
+    kHeaders,
+    kBodyByLength,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,  // CRLF after chunk payload
+    kTrailers,
+    kBodyUntilClose,  // response with no framing: body runs to EOF
+    kError,
+  };
+
+  // Consumes one line ending at CRLF (or bare LF) starting at pos_. Returns
+  // false if no full line is buffered. On success *line excludes the
+  // terminator and pos_ advances past it.
+  bool TakeLine(std::string_view* line, size_t max_len, int too_long_status);
+
+  Result Fail(int status, const char* reason);
+  bool ParseStartLine(std::string_view line);
+  bool ParseHeaderLine(std::string_view line);
+  // After the header block: derives framing (content-length / chunked /
+  // none / until-close) and keep_alive. Returns false on Fail().
+  bool FinishHeaders();
+  void Compact();
+
+  Role role_;
+  Limits limits_;
+  State state_ = State::kStartLine;
+  std::string buf_;
+  size_t pos_ = 0;           // consumed prefix of buf_
+  size_t header_bytes_ = 0;  // running size of the current header block
+  uint64_t chunk_remaining_ = 0;
+  HttpMessage msg_;  // message under construction
+  int error_status_ = 0;
+  const char* error_reason_ = "";
+};
+
+// Case-insensitive ASCII compare helpers shared by the HTTP layer.
+bool HttpNamesEqual(std::string_view a, std::string_view b);
+// True if `list` (a comma-separated header value) contains `token`,
+// case-insensitively — the Connection header test.
+bool HttpListContains(std::string_view list, std::string_view token);
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_HTTP_PARSER_H_

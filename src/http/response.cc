@@ -1,0 +1,144 @@
+#include "src/http/response.h"
+
+#include <stdio.h>
+#include <sys/uio.h>
+
+#include "src/io/io.h"
+#include "src/net/net.h"
+
+namespace sunmt {
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+void HttpFormatHead(const HttpResponseHead& head, int64_t content_length,
+                    bool keep_alive, std::string* out) {
+  out->clear();
+  out->reserve(128 + head.extra_headers.size() * 48);
+  char line[96];
+  int n = snprintf(line, sizeof(line), "HTTP/1.1 %d %s\r\n", head.status,
+                   HttpStatusReason(head.status));
+  out->append(line, static_cast<size_t>(n));
+  if (!head.content_type.empty()) {
+    out->append("Content-Type: ");
+    out->append(head.content_type);
+    out->append("\r\n");
+  }
+  for (const HttpHeader& h : head.extra_headers) {
+    out->append(h.name);
+    out->append(": ");
+    out->append(h.value);
+    out->append("\r\n");
+  }
+  if (content_length >= 0) {
+    n = snprintf(line, sizeof(line), "Content-Length: %lld\r\n",
+                 static_cast<long long>(content_length));
+    out->append(line, static_cast<size_t>(n));
+  } else {
+    out->append("Transfer-Encoding: chunked\r\n");
+  }
+  out->append(keep_alive ? "Connection: keep-alive\r\n\r\n"
+                         : "Connection: close\r\n\r\n");
+}
+
+int http_send_response(int fd, const HttpResponseHead& head,
+                       std::string_view body, bool keep_alive,
+                       int64_t timeout_ns) {
+  std::string head_buf;
+  HttpFormatHead(head, static_cast<int64_t>(body.size()), keep_alive, &head_buf);
+  struct iovec iov[2] = {
+      {const_cast<char*>(head_buf.data()), head_buf.size()},
+      {const_cast<char*>(body.data()), body.size()},
+  };
+  ssize_t sent = net_writev_deadline(fd, iov, body.empty() ? 1 : 2, timeout_ns);
+  return sent < 0 ? -1 : 0;
+}
+
+int http_send_error(int fd, int status, bool keep_alive, int64_t timeout_ns) {
+  HttpResponseHead head;
+  head.status = status;
+  head.content_type = "text/plain";
+  std::string body = HttpStatusReason(status);
+  body += "\n";
+  return http_send_response(fd, head, body, keep_alive, timeout_ns);
+}
+
+bool HttpChunkedWriter::WriteHead(const HttpResponseHead& head,
+                                  bool keep_alive) {
+  if (failed_ || finished_) {
+    return false;
+  }
+  HttpFormatHead(head, /*content_length=*/-1, keep_alive, &head_buf_);
+  // net_writev_deadline even for one buffer: net_write has write(2) semantics
+  // and may send a prefix, which here would silently corrupt the stream.
+  struct iovec iov[1] = {{head_buf_.data(), head_buf_.size()}};
+  if (net_writev_deadline(fd_, iov, 1, timeout_ns_) < 0) {
+    failed_ = true;
+    error_ = thread_errno();
+    return false;
+  }
+  return true;
+}
+
+bool HttpChunkedWriter::WriteChunk(std::string_view data) {
+  if (failed_ || finished_) {
+    return false;
+  }
+  if (data.empty()) {
+    return true;  // a 0-size chunk would terminate the body; see Finish()
+  }
+  char size_line[24];
+  int n = snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  struct iovec iov[3] = {
+      {size_line, static_cast<size_t>(n)},
+      {const_cast<char*>(data.data()), data.size()},
+      {const_cast<char*>("\r\n"), 2},
+  };
+  if (net_writev_deadline(fd_, iov, 3, timeout_ns_) < 0) {
+    failed_ = true;
+    error_ = thread_errno();
+    return false;
+  }
+  body_bytes_ += data.size();
+  return true;
+}
+
+bool HttpChunkedWriter::Finish() {
+  if (failed_ || finished_) {
+    return !failed_ && finished_;
+  }
+  finished_ = true;
+  struct iovec iov[1] = {{const_cast<char*>("0\r\n\r\n"), 5}};
+  if (net_writev_deadline(fd_, iov, 1, timeout_ns_) < 0) {
+    failed_ = true;
+    error_ = thread_errno();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sunmt

@@ -1,0 +1,84 @@
+// HTTP/1.1 response serialization over the netpoller.
+//
+// Two shapes, both built on net_writev so header and body leave in one
+// scatter-gather call with no intermediate copy (the header is formatted into
+// a small buffer; the body — often a cache entry shared by many connections —
+// is referenced in place):
+//
+//   * http_send_response(): Content-Length framing, one call per response.
+//     This is the cache-hit hot path of the server.
+//   * HttpChunkedWriter: Transfer-Encoding chunked for handlers that produce
+//     the body incrementally (each WriteChunk is one writev of size line +
+//     payload + CRLF).
+//
+// Every response carries an explicit Connection header (keep-alive / close),
+// which keeps HTTP/1.0 clients persistent and makes the server's close
+// decision visible to the peer.
+
+#ifndef SUNMT_SRC_HTTP_RESPONSE_H_
+#define SUNMT_SRC_HTTP_RESPONSE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/http/parser.h"
+
+namespace sunmt {
+
+// Canonical reason phrase ("OK", "Not Found", ...); "Status" for codes
+// without one.
+const char* HttpStatusReason(int status);
+
+struct HttpResponseHead {
+  int status = 200;
+  std::string_view content_type = {};        // emitted when non-empty
+  std::vector<HttpHeader> extra_headers;     // appended verbatim
+};
+
+// Formats the status line + headers + blank line into *out (cleared first).
+// content_length >= 0 emits Content-Length; < 0 emits chunked framing.
+void HttpFormatHead(const HttpResponseHead& head, int64_t content_length,
+                    bool keep_alive, std::string* out);
+
+// Sends head + body as one net_writev with full-send continuation. Returns 0,
+// or -1 with thread_errno() set (the connection is then unusable).
+int http_send_response(int fd, const HttpResponseHead& head,
+                       std::string_view body, bool keep_alive,
+                       int64_t timeout_ns);
+
+// Minimal error response (used for 400/408/414/431/...); body is the reason
+// phrase, so clients see something past the status line.
+int http_send_error(int fd, int status, bool keep_alive, int64_t timeout_ns);
+
+class HttpChunkedWriter {
+ public:
+  HttpChunkedWriter(int fd, int64_t timeout_ns)
+      : fd_(fd), timeout_ns_(timeout_ns) {}
+
+  // Sends the head with chunked framing. Must be first; false on I/O error.
+  bool WriteHead(const HttpResponseHead& head, bool keep_alive);
+  // Sends one chunk (empty data is a no-op: a zero chunk would end the body).
+  bool WriteChunk(std::string_view data);
+  // Sends the terminating zero chunk. The writer is then finished.
+  bool Finish();
+
+  bool failed() const { return failed_; }
+  // thread_errno() of the first failing write (0 if none).
+  int error() const { return error_; }
+  size_t body_bytes() const { return body_bytes_; }
+
+ private:
+  int fd_;
+  int64_t timeout_ns_;
+  bool failed_ = false;
+  bool finished_ = false;
+  int error_ = 0;
+  size_t body_bytes_ = 0;
+  std::string head_buf_;
+};
+
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_HTTP_RESPONSE_H_

@@ -5,6 +5,7 @@
 #include "src/net/net.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,6 +30,19 @@ T NetResult(T result, int err) {
 }
 
 bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+// Whether an injected EAGAIN is allowed to stand. The poller's wakeups are
+// edge-triggered: WaitReady may only be entered after a *real* EAGAIN, because
+// readiness that arrived earlier has already had its edge latched and consumed.
+// Faking an EAGAIN while the fd is ready would park on an edge that never
+// comes — a state real execution cannot reach (a true EAGAIN means the fd was
+// drained, so any later readiness fires a fresh edge). So the fault only
+// stands on a genuinely not-ready fd; otherwise it decays to a no-op and the
+// caller performs the real syscall.
+bool InjectedEagainHolds(int fd, short events) {
+  struct pollfd p = {fd, events, 0};
+  return poll(&p, 1, 0) == 0;
+}
 
 // Routes io_read/io_write/io_accept on registered fds through the parking
 // path, so blocking-style call sites inherit the poller's LWP economics.
@@ -129,8 +143,9 @@ ssize_t net_read_deadline(int fd, void* buf, size_t count, int64_t timeout_ns) {
     // Injected not-ready: skip the syscall and take the WaitReady path, as if
     // the data arrived just after an EAGAIN — races the deadline against the
     // park/wake machinery. (Not with timeout 0: a nonblocking try must report
-    // the fd's true state.)
-    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall)) {
+    // the fd's true state. Not on a ready fd: see InjectedEagainHolds.)
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+        !InjectedEagainHolds(fd, POLLIN)) {
       ssize_t n = read(fd, buf, count);
       if (n >= 0) {
         return NetResult(n, 0);
@@ -156,14 +171,42 @@ ssize_t net_read(int fd, void* buf, size_t count) {
   return net_read_deadline(fd, buf, count, /*timeout_ns=*/-1);
 }
 
+namespace {
+
+// write(2)/writev(2) on a peer-closed socket raise SIGPIPE, which would kill
+// the whole process out from under every other connection (first hit by the
+// HTTP server, where clients hang up whenever they like). MSG_NOSIGNAL turns
+// that into a plain EPIPE; non-socket fds fall back to the raw syscalls.
+ssize_t WriteNoSigpipe(int fd, const void* buf, size_t count) {
+  ssize_t n = send(fd, buf, count, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) {
+    n = write(fd, buf, count);
+  }
+  return n;
+}
+
+ssize_t WritevNoSigpipe(int fd, const struct iovec* iov, int iovcnt) {
+  struct msghdr msg = {};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  ssize_t n = sendmsg(fd, &msg, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) {
+    n = writev(fd, iov, iovcnt);
+  }
+  return n;
+}
+
+}  // namespace
+
 ssize_t net_write_deadline(int fd, const void* buf, size_t count,
                            int64_t timeout_ns) {
   NetPoller& poller = NetPoller::Get();
   Deadline deadline(timeout_ns);
   count = inject::ShortTransfer(inject::kNetSyscall, count);
   for (;;) {
-    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall)) {
-      ssize_t n = write(fd, buf, count);
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+        !InjectedEagainHolds(fd, POLLOUT)) {
+      ssize_t n = WriteNoSigpipe(fd, buf, count);
       if (n >= 0) {
         return NetResult(n, 0);
       }
@@ -188,12 +231,86 @@ ssize_t net_write(int fd, const void* buf, size_t count) {
   return net_write_deadline(fd, buf, count, /*timeout_ns=*/-1);
 }
 
+ssize_t net_writev_deadline(int fd, const struct iovec* iov, int iovcnt,
+                            int64_t timeout_ns) {
+  if (iovcnt < 0 || iovcnt > NET_IOV_MAX) {
+    return NetResult<ssize_t>(-1, EINVAL);
+  }
+  // Local copy: continuation after a partial writev advances iov_base/iov_len
+  // of the first incomplete entry, which must not scribble on the caller's
+  // (possibly const, possibly reused) array.
+  struct iovec local[NET_IOV_MAX];
+  size_t total = 0;
+  for (int i = 0; i < iovcnt; ++i) {
+    local[i] = iov[i];
+    total += iov[i].iov_len;
+  }
+  if (total == 0) {
+    return NetResult<ssize_t>(0, 0);
+  }
+  NetPoller& poller = NetPoller::Get();
+  Deadline deadline(timeout_ns);
+  int idx = 0;
+  size_t written = 0;
+  for (;;) {
+    while (idx < iovcnt && local[idx].iov_len == 0) {
+      ++idx;
+    }
+    if (idx == iovcnt) {
+      return NetResult<ssize_t>(static_cast<ssize_t>(total), 0);
+    }
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+        !InjectedEagainHolds(fd, POLLOUT)) {
+      // Injected short transfer: clamp this attempt to a prefix of the first
+      // pending entry, exercising the mid-entry continuation below.
+      size_t clamped = inject::ShortTransfer(inject::kNetSyscall, local[idx].iov_len);
+      ssize_t n = clamped < local[idx].iov_len
+                      ? WriteNoSigpipe(fd, local[idx].iov_base, clamped)
+                      : WritevNoSigpipe(fd, &local[idx], iovcnt - idx);
+      if (n > 0) {
+        written += static_cast<size_t>(n);
+        size_t adv = static_cast<size_t>(n);
+        while (adv > 0 && idx < iovcnt) {
+          if (adv >= local[idx].iov_len) {
+            adv -= local[idx].iov_len;
+            local[idx].iov_len = 0;
+            ++idx;
+          } else {
+            local[idx].iov_base = static_cast<char*>(local[idx].iov_base) + adv;
+            local[idx].iov_len -= adv;
+            adv = 0;
+          }
+        }
+        continue;  // partial write: the fd may still be writable, retry first
+      }
+      if (n < 0 && !WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
+    }
+    if (inject::Fault(inject::kNetWaitReady)) {
+      continue;
+    }
+    int rc = poller.WaitReady(fd, NET_WRITABLE, deadline.Remaining());
+    if (rc == ETIME && timeout_ns == 0) {
+      rc = EAGAIN;
+    }
+    if (rc != 0) {
+      return NetResult<ssize_t>(-1, rc);
+    }
+  }
+}
+
+ssize_t net_writev(int fd, const struct iovec* iov, int iovcnt) {
+  return net_writev_deadline(fd, iov, iovcnt, /*timeout_ns=*/-1);
+}
+
 int net_accept_deadline(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
                         int64_t timeout_ns) {
   NetPoller& poller = NetPoller::Get();
   Deadline deadline(timeout_ns);
   for (;;) {
-    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall)) {
+    if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+        !InjectedEagainHolds(sockfd, POLLIN)) {
       int fd = accept(sockfd, addr, addrlen);
       if (fd >= 0) {
         return NetResult(fd, 0);

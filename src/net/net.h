@@ -32,6 +32,7 @@
 
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <cstdint>
 
@@ -79,6 +80,19 @@ ssize_t net_read(int fd, void* buf, size_t count);
 ssize_t net_write(int fd, const void* buf, size_t count);
 ssize_t net_read_deadline(int fd, void* buf, size_t count, int64_t timeout_ns);
 ssize_t net_write_deadline(int fd, const void* buf, size_t count, int64_t timeout_ns);
+
+// Scatter-gather write with partial-write continuation: sends the ENTIRE iov
+// list (at most NET_IOV_MAX entries), parking on EAGAIN and resuming a partial
+// writev(2) mid-entry, so protocol code can send header+body from separate
+// buffers without an intermediate copy. Unlike net_write (one successful
+// syscall), success means every byte was written; returns the total, or -1
+// with thread_errno set (ETIME on the deadline variant — bytes already
+// accepted by the kernel before the failure are consumed). A timeout of 0 is
+// a nonblocking try and fails with EAGAIN if the full list does not fit.
+inline constexpr int NET_IOV_MAX = 64;
+ssize_t net_writev(int fd, const struct iovec* iov, int iovcnt);
+ssize_t net_writev_deadline(int fd, const struct iovec* iov, int iovcnt,
+                            int64_t timeout_ns);
 
 // accept(2) on a registered listening socket. The accepted fd is returned
 // blocking-mode untouched and unregistered; register it to serve it through
