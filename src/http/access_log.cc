@@ -4,6 +4,7 @@
 #include <string.h>
 
 #include "src/io/io.h"
+#include "src/timer/timer.h"
 
 namespace sunmt {
 
@@ -30,7 +31,14 @@ HttpAccessLog::~HttpAccessLog() {
 void HttpAccessLog::Log(uint64_t conn_id, std::string_view method,
                         std::string_view target, int status,
                         size_t response_bytes, int64_t duration_us) {
-  if (stopping_.load(std::memory_order_acquire)) {
+  // Handshake with Stop(): raise in_flight_ before re-checking stopping_
+  // (both seq_cst), so either Stop() sees this producer and waits for it to
+  // leave Send(), or this producer sees stopping_ and drops. Without it a
+  // racing blocking Send() on a full queue could run after the logger thread
+  // exited and block forever.
+  in_flight_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    in_flight_.fetch_sub(1, std::memory_order_release);
     lines_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -47,16 +55,23 @@ void HttpAccessLog::Log(uint64_t conn_id, std::string_view method,
   size_t len = static_cast<size_t>(n) < sizeof(line) ? static_cast<size_t>(n)
                                                      : sizeof(line) - 1;
   bool queued = blocking_ ? queue_->Send(line, len) : queue_->TrySend(line, len);
+  in_flight_.fetch_sub(1, std::memory_order_release);
   if (!queued) {
     lines_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void HttpAccessLog::Stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+  if (stopping_.exchange(true, std::memory_order_seq_cst)) {
     return;
   }
   if (logger_ != 0) {
+    // Quiesce racing producers first: anyone already past the stopping_ check
+    // is counted in in_flight_ and the logger is still consuming, so their
+    // Send() completes; later callers see stopping_ and drop.
+    while (in_flight_.load(std::memory_order_acquire) > 0) {
+      thread_sleep_ms(1);
+    }
     // The sentinel is queued behind every line already sent, so the logger
     // drains the backlog before exiting.
     queue_->Send(&kStopSentinel, 1);

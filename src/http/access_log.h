@@ -56,6 +56,10 @@ class HttpAccessLog {
   int fd_;
   bool blocking_;
   std::atomic<bool> stopping_{false};
+  // Producers inside Log() past the stopping_ check; Stop() waits for this to
+  // reach zero before the sentinel, so a blocking Send() always has a live
+  // consumer.
+  std::atomic<uint32_t> in_flight_{0};
   char* queue_memory_ = nullptr;
   MessageQueue* queue_ = nullptr;
   thread_id_t logger_ = 0;

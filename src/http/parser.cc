@@ -297,6 +297,12 @@ bool HttpParser::FinishHeaders() {
     }
     content_length = v;
   }
+  if (msg_.chunked && content_length >= 0) {
+    // Transfer-Encoding together with Content-Length is a request-smuggling
+    // indicator (RFC 7230 §3.3.3); refuse rather than pick a winner.
+    Fail(400, "Transfer-Encoding with Content-Length");
+    return false;
+  }
   if (!msg_.chunked) {
     msg_.content_length = content_length;
   }
@@ -427,7 +433,10 @@ HttpParser::Result HttpParser::Next(HttpMessage* out) {
           }
           size = size * 16 + static_cast<uint64_t>(digit);
         }
-        if (msg_.body.size() + size > limits_.max_body_bytes) {
+        // Guard the sum against wraparound: 16 hex digits reach 2^64-1, so
+        // `body.size() + size` alone can wrap past the cap.
+        if (size > limits_.max_body_bytes ||
+            msg_.body.size() + size > limits_.max_body_bytes) {
           return Fail(413, "body too large");
         }
         if (size == 0) {

@@ -149,12 +149,23 @@ void HttpServer::Stop() {
     shutdown(fd, SHUT_RDWR);
   }
   mutex_exit(&conns_lock_);
-  // Connection threads observe stopping_ / the shutdown and drain. Bounded
-  // wait: after ~10s report whatever is left rather than hang the caller.
-  for (int waited_ms = 0;
-       active_conns_.load(std::memory_order_acquire) > 0 && waited_ms < 10000;
+  // Connection threads observe stopping_ / the shutdown and drain. The wait
+  // is unbounded: handlers are trusted code, and returning while connection
+  // threads still run would let ~HttpServer destroy conns_lock_ / config_
+  // under them (use-after-free). Re-sweep the set periodically so a
+  // connection that slipped in around the sweep above still gets woken
+  // instead of parking out its full idle timeout.
+  for (int waited_ms = 0; active_conns_.load(std::memory_order_acquire) > 0;
        waited_ms += 2) {
     thread_sleep_ms(2);
+    if (waited_ms % 100 == 0) {
+      mutex_enter(&conns_lock_);
+      for (int fd : conn_fds_) {
+        net_unregister(fd);
+        shutdown(fd, SHUT_RDWR);
+      }
+      mutex_exit(&conns_lock_);
+    }
   }
 }
 
@@ -205,6 +216,13 @@ void HttpServer::AcceptLoop() {
                            next_conn_id_.fetch_add(1, std::memory_order_relaxed)};
     mutex_enter(&conns_lock_);
     conn_fds_.insert(conn);
+    // Re-check under the lock: if Stop()'s wake sweep already ran it missed
+    // this fd, so deliver the wake here (a second shutdown on a live fd is
+    // harmless, and the fd stays open until its owner closes it).
+    if (stopping_.load(std::memory_order_acquire)) {
+      net_unregister(conn);
+      shutdown(conn, SHUT_RDWR);
+    }
     mutex_exit(&conns_lock_);
     active_conns_.fetch_add(1, std::memory_order_acq_rel);
     // Flags 0: connection threads are never thread_wait()ed — Stop() drains

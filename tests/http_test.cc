@@ -231,6 +231,26 @@ TEST(HttpParser, ChunkedBodyRoundTrip) {
                      &msg, HttpParser::kRequest, small, &status),
             HttpParser::kError);
   EXPECT_EQ(status, 413);
+  // A 16-hex-digit chunk size after a nonempty body made the old
+  // `body.size() + size` cap check wrap around uint64 and pass; it must 413
+  // even under the default (large) body limit.
+  EXPECT_EQ(ParseAll("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                     "4\r\nWiki\r\nffffffffffffffff\r\n",
+                     &msg, HttpParser::kRequest, {}, &status),
+            HttpParser::kError);
+  EXPECT_EQ(status, 413);
+}
+
+TEST(HttpParser, RejectsTransferEncodingWithContentLength) {
+  // Both framings on one request is a smuggling indicator (RFC 7230 §3.3.3):
+  // refuse instead of letting Transfer-Encoding win silently.
+  HttpMessage msg;
+  int status = 0;
+  EXPECT_EQ(ParseAll("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                     "Content-Length: 4\r\n\r\n4\r\nWiki\r\n0\r\n\r\n",
+                     &msg, HttpParser::kRequest, {}, &status),
+            HttpParser::kError);
+  EXPECT_EQ(status, 400);
 }
 
 TEST(HttpParser, ResponseBodiesFramedByClose) {
