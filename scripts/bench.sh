@@ -161,6 +161,28 @@ print("  http throughput within bounds")
 PY
 fi
 
+# ---- Timer-wheel speedup gate ------------------------------------------------
+# The sharded timing wheel exists to beat the heap engine on cancel/re-arm
+# churn against a standing deadline population; abl_timer_churn measures both
+# engines from the same binary and must show at least 2x. (The margin is huge
+# — the heap cancel is O(n) — so this gate is noise-proof even on the shared
+# 1-CPU box; a failure means the ablation plumbing broke or the wheel's fast
+# path regressed catastrophically.)
+if [[ -s "$repo/BENCH_abl_timer_churn.json" && $failed -eq 0 ]]; then
+  echo "== timer-wheel churn speedup (abl_timer_churn, wheel vs heap) =="
+  python3 - "$repo/BENCH_abl_timer_churn.json" <<'PY' || failed=1
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+speedup = m.get("churn_speedup_vs_heap", 0)
+print(f"  churn: wheel {m.get('churn_pairs_per_s', 0):.0f} pairs/s, "
+      f"heap {m.get('churn_pairs_per_s_heap', 0):.0f} pairs/s "
+      f"({speedup:.1f}x, required >= 2x)")
+if speedup < 2.0:
+    sys.exit(f"timer wheel churn speedup {speedup:.2f}x below the 2x floor")
+print("  timer-wheel speedup within bounds")
+PY
+fi
+
 # ---- Thread-lifecycle regression gate ---------------------------------------
 # The magazine caches + sharded registry carry the thread-scale numbers; fail
 # if the per-thread cost of the 16k batch regresses more than 10% against the

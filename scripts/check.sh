@@ -3,17 +3,18 @@
 #
 #   1. Regular build + full ctest (the ROADMAP tier-1 command).
 #   2. SUNMT_SANITIZE=thread build, running the `net`, `http`, `stats`,
-#      `sched`, and `lifecycle` labels — the netpoller's park/wake path, the
-#      HTTP server's connection/cache/logger fan-out, the trace/stats seqlock,
-#      the sharded run queue's steal/box migration, and the magazine stack
-#      cache + sharded registry are the places a data race would live.
+#      `sched`, `lifecycle`, and `timer` labels — the netpoller's park/wake
+#      path, the HTTP server's connection/cache/logger fan-out, the trace/
+#      stats seqlock, the sharded run queue's steal/box migration, the
+#      magazine stack cache + sharded registry, and the timing wheel's
+#      lock-free cancel/claim protocol are the places a data race would live.
 #   3. Lockdep lane: the `lockdep` label (order-inversion + deadlock detector,
 #      see src/debug) plain and under TSan, plus a full-suite pass with
 #      SUNMT_DEBUG=lockorder to prove the detector stays false-positive-free
 #      on every locking pattern the tests exercise.
 #   4. Shakedown lane: the `inject` label (seeded perturbation sweep, see
 #      src/inject) in both builds, plus an env-injected run of the net/http/
-#      stats/sched/lifecycle labels (schedule ops only — fault/short would
+#      stats/sched/lifecycle/timer labels (schedule ops only — fault/short would
 #      violate those tests' exact-timing expectations; the http test layers its
 #      own fault/short sweep internally). A failing sweep prints the seed that
 #      reproduces it; the env lane's banner records its seed in the log.
@@ -31,13 +32,13 @@ cmake --build "$repo/build" -j "$jobs"
 ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 
 echo
-echo "== tsan: net + http + stats + sched + lifecycle labels =="
+echo "== tsan: net + http + stats + sched + lifecycle + timer labels =="
 cmake -S "$repo" -B "$repo/build-tsan" -DSUNMT_SANITIZE=thread >/dev/null
 cmake --build "$repo/build-tsan" -j "$jobs"
 # TSan multiplies the http sweep's hand-offs ~10x; the smaller seed count
 # keeps it inside the per-test timeout (same trade as the inject lane below).
 SUNMT_SHAKEDOWN_SEEDS=16 \
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|http|stats|sched|lifecycle"
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|http|stats|sched|lifecycle|timer"
 
 echo
 echo "== lockdep: lockdep label (plain + tsan) =="
@@ -61,16 +62,16 @@ SUNMT_SHAKEDOWN_SEEDS=16 \
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L inject
 
 echo
-echo "== shakedown: env-injected net/http/stats/sched/lifecycle labels =="
+echo "== shakedown: env-injected net/http/stats/sched/lifecycle/timer labels =="
 # Schedule-perturbation family only: these tests assert exact counts/latencies
 # that injected faults or short transfers would legitimately change. (The http
 # test runs its own fault/short sweep internally on top of this.)
 inject_seed=$(( $(date +%s) % 10000 ))
 echo "SUNMT_INJECT seed=$inject_seed (replay a failure by exporting the same spec)"
 SUNMT_INJECT="seed=$inject_seed,rate=0.05,ops=yield|delay|steal" \
-  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L "net|http|stats|sched|lifecycle"
+  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs" -L "net|http|stats|sched|lifecycle|timer"
 SUNMT_INJECT="seed=$inject_seed,rate=0.02,ops=yield|delay|steal" SUNMT_SHAKEDOWN_SEEDS=16 \
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|http|stats|sched|lifecycle"
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" -L "net|http|stats|sched|lifecycle|timer"
 
 echo
 echo "check.sh: all green"

@@ -187,6 +187,7 @@ const char* PointName(Point p) {
     case kStackMagazine:   return "stack.magazine";
     case kRegistryShard:   return "registry.shard";
     case kLockdep:         return "lockdep.check";
+    case kTimerWheel:      return "timer.wheel";
     case kPointCount:      break;
   }
   return "?";

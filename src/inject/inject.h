@@ -67,6 +67,7 @@ enum Point : uint8_t {
   kStackMagazine,        // stack-cache magazine refill/flush (depot hand-off)
   kRegistryShard,        // thread-registry shard lookup/iteration entry
   kLockdep,              // lockdep order-check / pre-block walk (SUNMT_DEBUG)
+  kTimerWheel,           // timer-wheel shard sweep & lock-free cancel CAS
   kPointCount,
 };
 

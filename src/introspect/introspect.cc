@@ -10,6 +10,7 @@
 #include "src/debug/lockdep.h"
 #include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
+#include "src/timer/timer.h"
 
 namespace sunmt {
 namespace {
@@ -204,6 +205,18 @@ std::string FormatProcessState() {
            " flushes=%" PRIu64 " depot=%zu magazines=%zu depth=%zu\n",
            sc.hits, sc.misses, sc.refills, sc.flushes, sc.depot_depth,
            sc.magazine_count, sc.magazine_depth);
+  out += line;
+  TimerEngineStats ts = timer_engine_stats();
+  snprintf(line, sizeof(line),
+           "TIMER engine=%s shards=%d live=%" PRIu64 " tombstones=%" PRIu64
+           " pool_free=%" PRIu64 " pool_alloc=%" PRIu64 "\n",
+           ts.wheel_engine ? "wheel" : "heap", ts.shards, ts.live,
+           ts.tombstones, ts.pool_free, ts.pool_allocated);
+  out += line;
+  snprintf(line, sizeof(line),
+           "      arms=%" PRIu64 " cancels=%" PRIu64 " fires=%" PRIu64
+           " reaps=%" PRIu64 " sweeps=%" PRIu64 " cascades=%" PRIu64 "\n",
+           ts.arms, ts.cancels, ts.fires, ts.reaps, ts.sweeps, ts.cascades);
   out += line;
   inject::Counters inj = inject::Snapshot();
   if (inj.configured) {

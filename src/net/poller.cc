@@ -511,11 +511,29 @@ int64_t NetPoller::IdlePollPeriodNs() { return kInlinePollPeriodNs; }
 
 // Timer-engine backstop for inline mode: idle LWPs poll opportunistically, but
 // if every LWP is busy running compute threads nobody reaches the idle path —
-// this tick keeps parked net waiters from starving.
+// this tick keeps parked net waiters from starving. Armed ONCE as a periodic
+// timer while waiters exist: the old shape re-armed a fresh one-shot per
+// millisecond, which is exactly the arm/cancel churn the sharded timer wheel
+// exists to avoid paying for.
 void NetPoller::InlineTick(void* cookie, uint64_t) {
   auto* poller = static_cast<NetPoller*>(cookie);
   poller->PollInline();
+  if (g_mode.load(std::memory_order_acquire) == Mode::kInline &&
+      poller->parked_count_.load(std::memory_order_acquire) > 0) {
+    return;  // still needed: the periodic re-fires on its own
+  }
+  // Nothing left to back-stop: disarm from inside our own fire. The exchange
+  // closes the window where ArmInlineTick has armed the timer but not yet
+  // published its id — in that case skip the disarm and let the next fire
+  // retry with the id visible.
+  uint64_t id = poller->inline_tick_timer_.exchange(0, std::memory_order_acq_rel);
+  if (id == 0) {
+    return;
+  }
+  timer_cancel(id);  // our own in-flight fire: -1, suppresses the re-arm
   poller->inline_tick_armed_.store(false, std::memory_order_release);
+  // A waiter may have parked between the check above and the disarm; re-check
+  // so it cannot be stranded with no backstop armed.
   if (g_mode.load(std::memory_order_acquire) == Mode::kInline &&
       poller->parked_count_.load(std::memory_order_acquire) > 0) {
     poller->ArmInlineTick();
@@ -526,7 +544,10 @@ void NetPoller::ArmInlineTick() {
   if (inline_tick_armed_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
-  timer_arm_callback(kInlinePollPeriodNs, &NetPoller::InlineTick, this, 0);
+  inline_tick_timer_.store(
+      timer_arm_callback_periodic(kInlinePollPeriodNs, kInlinePollPeriodNs,
+                                  &NetPoller::InlineTick, this, 0),
+      std::memory_order_release);
 }
 
 }  // namespace sunmt

@@ -130,6 +130,7 @@ class NetPoller {
   std::atomic<int> registered_count_{0};
   std::atomic<int> parked_count_{0};
   std::atomic<bool> inline_tick_armed_{false};
+  std::atomic<uint64_t> inline_tick_timer_{0};  // periodic backstop timer id
   std::atomic<uint32_t> inline_poll_busy_{0};  // single inline poller at a time
 };
 

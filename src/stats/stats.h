@@ -35,13 +35,18 @@ namespace stats_internal {
 extern std::atomic<bool> g_enabled;
 extern std::atomic<uint32_t> g_next_shard;
 
-// Round-robin shard assignment, one per kernel thread. LWPs are kernel
-// threads, so this is per-LWP on every path the runtime owns.
+// Raw round-robin shard token, assigned once per kernel thread. LWPs are
+// kernel threads, so this is per-LWP on every path the runtime owns. Sharded
+// subsystems reduce it by their own shard count (stats masks by kStatsShards
+// below; the timer wheel mods by its SUNMT_TIMER_SHARDS count).
+inline uint32_t ShardToken() {
+  thread_local uint32_t token =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
 inline int ShardIndex() {
-  thread_local int shard =
-      static_cast<int>(g_next_shard.fetch_add(1, std::memory_order_relaxed) &
-                       (kStatsShards - 1));
-  return shard;
+  return static_cast<int>(ShardToken() & (kStatsShards - 1));
 }
 
 }  // namespace stats_internal

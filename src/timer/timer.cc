@@ -1,7 +1,52 @@
+// The timer engine: per-LWP-sharded hierarchical timing wheels (wheel.h) with
+// pooled entries and lock-free lazy cancellation, plus the legacy single-lock
+// binary-heap engine kept alive behind SUNMT_TIMER_ENGINE=heap as the
+// abl_timer_churn ablation baseline.
+//
+// Wheel engine shape:
+//
+//   * Arm is O(1) and touches only per-shard state: the calling kernel thread
+//     (i.e. LWP — shards are keyed by the same round-robin token as the stats
+//     shards) takes its shard's spinlock once, pops a pooled entry, buckets it
+//     in the shard's wheel, and publishes the Armed tag. No malloc, and a
+//     futex kick only when the new deadline beats the ticker's published
+//     sleep horizon — the old engine paid one unconditional FutexWake syscall
+//     per arm.
+//   * Cancel is lock-free: decode the id, CAS the entry's tag word from
+//     Armed to Tombstone. The wheel is never touched — the tombstone is
+//     reaped when its slot turns over (or by a wholesale sweep once enough
+//     accumulate), so the dominant rearm-before-fire churn of deadline-heavy
+//     servers never takes any wheel lock twice. The generation stamp packed
+//     into the same tag word makes the CAS immune to entry reuse (ABA).
+//   * The ticker thread sweeps each shard: advance the wheel, splice the due
+//     batch, claim each entry Armed->Firing (a batch claim BEFORE any
+//     callback runs, so a racing cancel fails exactly as it did when the heap
+//     engine popped entries — the PR 4 timeout_fire_seq ack protocol in
+//     SemaTimeoutFire/CvTimeoutFire/NetTimeoutFire depends on that), then
+//     fire outside all locks. A claimed fire always runs even if a cancel
+//     lands mid-flight (the -1 return told the caller the fire owns the
+//     context); the mid-flight cancel only suppresses a periodic re-arm.
+//
+// Tag word protocol (one atomic uint64 per entry):
+//
+//     tag = (generation << 3) | state
+//     Free ->(arm, shard lock held)-> Armed
+//     Armed ->(cancel CAS, lock-free)-> Tombstone        cancel returns 0
+//     Armed ->(ticker claim)-> Firing
+//     Firing ->(cancel CAS)-> FiringCancelled            cancel returns -1
+//     Firing ->(ticker, periodic)-> Armed (same generation: the id stays valid)
+//     Firing/FiringCancelled/Tombstone ->(reap)-> Free with generation+1
+//
+// timer ids pack (generation << 24) | (pool index << 4) | shard, so cancel
+// finds the entry without any map and validates the incarnation in the same
+// CAS that transitions it.
+
 #include "src/timer/timer.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <new>
 #include <thread>
 #include <unordered_map>
@@ -10,7 +55,10 @@
 #include "src/core/runtime.h"
 #include "src/inject/inject.h"
 #include "src/signal/signal.h"
+#include "src/stats/stats.h"
 #include "src/sync/sync.h"
+#include "src/timer/wheel.h"
+#include "src/util/check.h"
 #include "src/util/clock.h"
 #include "src/util/futex.h"
 #include "src/util/spinlock.h"
@@ -25,62 +73,66 @@ enum class FireKind : uint8_t {
   kCallback,       // fn(cookie, arg) on the engine thread — cv_timedwait etc.
 };
 
+// ---- Entry & tag word --------------------------------------------------------
+
+constexpr uint64_t kStFree = 0;
+constexpr uint64_t kStArmed = 1;
+constexpr uint64_t kStFiring = 2;
+constexpr uint64_t kStTombstone = 3;
+constexpr uint64_t kStFiringCancelled = 4;
+constexpr uint64_t kStateMask = 7;
+constexpr int kGenShift = 3;
+
 struct TimerEntry {
-  timer_id_t id;
-  int64_t deadline_ns;
-  std::atomic<int64_t> period_ns{0};  // 0 = one-shot (atomic: engine vs cancel race)
-  FireKind kind;
-  int sig;
-  thread_id_t target;
-  sema_t* sema;
-  void (*callback)(void*, uint64_t);
-  void* cookie;
-  uint64_t callback_arg;
+  WheelNode node;  // must stay first: the ticker casts WheelNode* back
+  // (generation << kGenShift) | state; generation starts at 1 so no packed id
+  // ever equals kInvalidTimerId.
+  std::atomic<uint64_t> tag{(1ull << kGenShift) | kStFree};
+  uint32_t index = 0;                // pool index within the owning shard
+  TimerEntry* free_next = nullptr;   // shard free list / local reap batches
+  timer_id_t id = kInvalidTimerId;   // heap engine only
+  int64_t deadline_ns = 0;
+  std::atomic<int64_t> period_ns{0};  // 0 = one-shot (atomic: engine vs cancel)
+  FireKind kind = FireKind::kCallback;
+  int sig = 0;
+  thread_id_t target = 0;
+  sema_t* sema = nullptr;
+  void (*callback)(void*, uint64_t) = nullptr;
+  void* cookie = nullptr;
+  uint64_t callback_arg = 0;
 };
 
-struct HeapCmp {
-  bool operator()(const TimerEntry* a, const TimerEntry* b) const {
-    return a->deadline_ns > b->deadline_ns;  // min-heap by deadline
-  }
-};
+inline TimerEntry* EntryFromNode(WheelNode* node) {
+  return reinterpret_cast<TimerEntry*>(node);  // node is the first member
+}
 
-struct EngineState {
-  SpinLock lock;
-  std::vector<TimerEntry*> heap;  // std::push_heap/pop_heap with HeapCmp
-  std::unordered_map<timer_id_t, TimerEntry*> live;
-  std::atomic<uint64_t> next_id{1};
+// ---- Shared state (both engines) --------------------------------------------
+
+struct SharedState {
   std::atomic<uint64_t> fires{0};
-  std::atomic<uint32_t> wakeup{0};  // bumped whenever an earlier deadline arrives
-  bool thread_started = false;
+  SpinLock interval_lock;
   timer_id_t process_interval_timer = kInvalidTimerId;
   int64_t process_interval_ns = 0;
 };
 
-EngineState& Engine() {
-  static EngineState* state = new EngineState;  // leaked, outlives everything
+SharedState& Shared() {
+  static SharedState* state = new SharedState;  // leaked, outlives everything
   return *state;
 }
 
-// fork1() child repair: the engine thread does not exist in the child and the
-// heap/map may have been copied mid-mutation; rebuild the engine in place
-// (parent entries leak in the child, which is the safe direction).
-void TimerForkChildRepair() {
-  EngineState& engine = Engine();
-  new (&engine) EngineState();
-}
-
-void EnsureForkHandler() {
-  static std::atomic<bool> once{false};
-  if (!once.exchange(true, std::memory_order_acq_rel)) {
-    Runtime::RegisterForkChildHandler(&TimerForkChildRepair);
-  }
+bool UseHeapEngine() {
+  static const bool heap = [] {
+    const char* env = getenv("SUNMT_TIMER_ENGINE");
+    return env != nullptr && strcmp(env, "heap") == 0;
+  }();
+  return heap;
 }
 
 void FireEntry(TimerEntry* entry) {
   // Delays here race timer delivery against concurrent waker/cancel paths —
   // the timeout-vs-wake window of the timed sync waits.
   inject::Perturb(inject::kTimerCallback);
-  Engine().fires.fetch_add(1, std::memory_order_relaxed);
+  Shared().fires.fetch_add(1, std::memory_order_relaxed);
   switch (entry->kind) {
     case FireKind::kSignalThread:
       if (thread_kill(entry->target, entry->sig) != 0) {
@@ -99,8 +151,137 @@ void FireEntry(TimerEntry* entry) {
   }
 }
 
-void EngineMain() {
-  EngineState& engine = Engine();
+// ---- Wheel engine ------------------------------------------------------------
+
+// One tick = 2^20 ns ≈ 1.05 ms; the wheel spans 64^4 ticks ≈ 5.1 hours before
+// the beyond-horizon parking slot kicks in.
+constexpr int kTickShift = 20;
+
+inline uint64_t TickForDeadline(int64_t deadline_ns) {
+  // Ceiling: firing happens when now >> shift reaches the tick, i.e. at
+  // now >= tick << shift >= deadline — a wheel timer is never early.
+  return (static_cast<uint64_t>(deadline_ns) + ((1ull << kTickShift) - 1)) >>
+         kTickShift;
+}
+
+constexpr int kDefaultShards = 8;
+constexpr int kMaxShards = 16;
+constexpr uint32_t kChunkSize = 1024;   // entries per lazily allocated chunk
+constexpr uint32_t kMaxChunks = 1024;   // 1M pooled entries per shard
+constexpr uint32_t kReapThreshold = 1024;  // tombstones that trigger a sweep
+constexpr int64_t kIdleSleepNs = 1000 * 1000 * 1000;
+
+// id layout: (generation << 24) | (index << 4) | shard.
+constexpr int kIdShardBits = 4;
+constexpr int kIdIndexBits = 20;
+constexpr uint64_t kIdShardMask = (1ull << kIdShardBits) - 1;
+constexpr uint64_t kIdIndexMask = (1ull << kIdIndexBits) - 1;
+constexpr int kIdGenShift = kIdShardBits + kIdIndexBits;
+static_assert(kChunkSize * kMaxChunks == (1u << kIdIndexBits),
+              "pool capacity must match the id's index field");
+static_assert(kMaxShards <= (1 << kIdShardBits), "shard field too small");
+
+int ShardCountFromEnv() {
+  const char* env = getenv("SUNMT_TIMER_SHARDS");
+  int v = env != nullptr ? atoi(env) : 0;
+  if (v < 1) {
+    return kDefaultShards;
+  }
+  return v > kMaxShards ? kMaxShards : v;
+}
+
+struct alignas(64) TimerShard {
+  SpinLock lock;
+  TimingWheel wheel;
+  TimerEntry* free_list = nullptr;
+  uint32_t chunk_count = 0;
+  uint32_t carved = 0;  // next never-used pool index
+  std::atomic<TimerEntry*> chunks[kMaxChunks];  // acquire-loaded by cancel
+  std::atomic<uint32_t> tombstones{0};
+  std::atomic<uint64_t> arms{0};
+  std::atomic<uint64_t> cancels{0};
+  std::atomic<uint64_t> reaps{0};
+  std::atomic<uint64_t> sweeps{0};
+  std::atomic<uint64_t> pool_free{0};
+  std::atomic<uint64_t> pool_alloc{0};
+
+  TimerShard() {
+    for (auto& c : chunks) {
+      c.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct WheelState {
+  int nshards;
+  std::atomic<uint32_t> wakeup{0};
+  // The ticker's published sleep horizon: an arm kicks the futex only when
+  // its deadline beats this. INT64_MAX while the ticker is mid-sweep, so any
+  // arm that lands during processing forces an immediate re-loop instead of
+  // being missed.
+  std::atomic<int64_t> sleep_until_ns{INT64_MAX};
+  std::atomic<bool> ticker_started{false};
+  TimerShard shards[kMaxShards];
+
+  WheelState() : nshards(ShardCountFromEnv()) {
+    uint64_t tick = static_cast<uint64_t>(MonotonicNowNs()) >> kTickShift;
+    for (TimerShard& sh : shards) {
+      sh.wheel.InitCurTick(tick);
+    }
+  }
+};
+
+WheelState& Wheel() {
+  static WheelState* state = new WheelState;  // leaked, outlives everything
+  return *state;
+}
+
+// ---- Legacy heap engine (SUNMT_TIMER_ENGINE=heap) ---------------------------
+//
+// The pre-wheel engine, preserved verbatim as the same-binary ablation
+// baseline: one global spinlock over a binary heap + id map, malloc per arm,
+// and an unconditional futex kick per insert.
+
+struct HeapCmp {
+  bool operator()(const TimerEntry* a, const TimerEntry* b) const {
+    return a->deadline_ns > b->deadline_ns;  // min-heap by deadline
+  }
+};
+
+struct HeapState {
+  SpinLock lock;
+  std::vector<TimerEntry*> heap;  // std::push_heap/pop_heap with HeapCmp
+  std::unordered_map<timer_id_t, TimerEntry*> live;
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<uint64_t> cancels{0};
+  std::atomic<uint32_t> wakeup{0};
+  bool thread_started = false;
+};
+
+HeapState& Heap() {
+  static HeapState* state = new HeapState;  // leaked, outlives everything
+  return *state;
+}
+
+// fork1() child repair: the engine threads do not exist in the child and any
+// engine structure may have been copied mid-mutation; rebuild everything in
+// place (parent entries and pool chunks leak in the child — the safe
+// direction) and let the first arm lazily restart the ticker.
+void TimerForkChildRepair() {
+  new (&Shared()) SharedState();
+  new (&Heap()) HeapState();
+  new (&Wheel()) WheelState();
+}
+
+void EnsureForkHandler() {
+  static std::atomic<bool> once{false};
+  if (!once.exchange(true, std::memory_order_acq_rel)) {
+    Runtime::RegisterForkChildHandler(&TimerForkChildRepair);
+  }
+}
+
+void HeapEngineMain() {
+  HeapState& engine = Heap();
   for (;;) {
     int64_t now = MonotonicNowNs();
     int64_t next_deadline = -1;
@@ -111,9 +292,6 @@ void EngineMain() {
         std::pop_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
         due.push_back(engine.heap.back());
         engine.heap.pop_back();
-      }
-      if (!engine.heap.empty()) {
-        next_deadline = engine.heap.front()->deadline_ns;
       }
     }
     // Fire outside the lock: delivery takes package locks of its own.
@@ -135,12 +313,10 @@ void EngineMain() {
       }
       if (!engine.heap.empty()) {
         next_deadline = engine.heap.front()->deadline_ns;
-      } else {
-        next_deadline = -1;
       }
     }
     uint32_t version = engine.wakeup.load(std::memory_order_acquire);
-    int64_t timeout = next_deadline < 0 ? 1000 * 1000 * 1000
+    int64_t timeout = next_deadline < 0 ? kIdleSleepNs
                                         : next_deadline - MonotonicNowNs();
     if (timeout > 0) {
       FutexWait(&engine.wakeup, version, /*shared=*/false, timeout);
@@ -149,15 +325,15 @@ void EngineMain() {
 }
 
 // Inserts an armed entry and kicks the engine thread. Returns the id.
-timer_id_t InsertEntry(TimerEntry* entry) {
+timer_id_t HeapInsert(TimerEntry* entry) {
   EnsureForkHandler();
-  EngineState& engine = Engine();
+  HeapState& engine = Heap();
   timer_id_t id;
   {
     SpinLockGuard guard(engine.lock);
     if (!engine.thread_started) {
       engine.thread_started = true;
-      std::thread(&EngineMain).detach();
+      std::thread(&HeapEngineMain).detach();
     }
     id = engine.next_id.fetch_add(1, std::memory_order_relaxed);
     entry->id = id;
@@ -173,27 +349,360 @@ timer_id_t InsertEntry(TimerEntry* entry) {
   return id;
 }
 
-// Removes a live entry. Returns it, or nullptr if unknown/in-flight.
-TimerEntry* RemoveEntry(timer_id_t id) {
-  EngineState& engine = Engine();
-  SpinLockGuard guard(engine.lock);
-  auto it = engine.live.find(id);
-  if (it == engine.live.end()) {
-    return nullptr;
+int HeapCancel(timer_id_t id) {
+  HeapState& engine = Heap();
+  TimerEntry* entry;
+  {
+    SpinLockGuard guard(engine.lock);
+    auto it = engine.live.find(id);
+    if (it == engine.live.end()) {
+      return -1;
+    }
+    entry = it->second;
+    engine.live.erase(it);
+    auto pos = std::find(engine.heap.begin(), engine.heap.end(), entry);
+    if (pos == engine.heap.end()) {
+      // Currently firing on the engine thread: let it complete; mark one-shot
+      // so the engine frees it instead of re-arming.
+      entry->period_ns.store(0, std::memory_order_relaxed);
+      engine.live[id] = entry;  // engine's re-arm path will erase + delete
+      return -1;
+    }
+    engine.heap.erase(pos);
+    std::make_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
   }
-  TimerEntry* entry = it->second;
-  engine.live.erase(it);
-  auto pos = std::find(engine.heap.begin(), engine.heap.end(), entry);
-  if (pos == engine.heap.end()) {
-    // Currently firing on the engine thread: let it complete; mark one-shot so
-    // the engine frees it instead of re-arming.
-    entry->period_ns.store(0, std::memory_order_relaxed);
-    engine.live[id] = entry;  // engine's re-arm path will erase + delete
-    return nullptr;
+  engine.cancels.fetch_add(1, std::memory_order_relaxed);
+  delete entry;
+  return 0;
+}
+
+// ---- Wheel engine: arm / cancel / ticker ------------------------------------
+
+inline timer_id_t MakeId(uint64_t gen, uint32_t index, int shard) {
+  return (gen << kIdGenShift) | (static_cast<uint64_t>(index) << kIdShardBits) |
+         static_cast<uint64_t>(shard);
+}
+
+// Pops a pooled entry, carving a fresh chunk when the free list is dry.
+// Returns nullptr only when the shard has hit its 1M-entry capacity.
+TimerEntry* PopFreeLocked(TimerShard& sh) {
+  if (sh.free_list != nullptr) {
+    TimerEntry* e = sh.free_list;
+    sh.free_list = e->free_next;
+    e->free_next = nullptr;
+    sh.pool_free.fetch_sub(1, std::memory_order_relaxed);
+    return e;
   }
-  engine.heap.erase(pos);
-  std::make_heap(engine.heap.begin(), engine.heap.end(), HeapCmp());
-  return entry;
+  if (sh.carved >= kChunkSize * sh.chunk_count) {
+    if (sh.chunk_count == kMaxChunks) {
+      return nullptr;
+    }
+    auto* chunk = new TimerEntry[kChunkSize];
+    uint32_t ci = sh.chunk_count;
+    for (uint32_t i = 0; i < kChunkSize; ++i) {
+      chunk[i].index = ci * kChunkSize + i;
+    }
+    // Release-publish: cancel reads the chunk directory without the lock.
+    sh.chunks[ci].store(chunk, std::memory_order_release);
+    sh.chunk_count = ci + 1;
+  }
+  TimerEntry* chunk =
+      sh.chunks[sh.carved / kChunkSize].load(std::memory_order_relaxed);
+  TimerEntry* e = &chunk[sh.carved % kChunkSize];
+  ++sh.carved;
+  sh.pool_alloc.fetch_add(1, std::memory_order_relaxed);
+  return e;
+}
+
+void KickTicker(WheelState& st) {
+  st.wakeup.fetch_add(1, std::memory_order_release);
+  FutexWake(&st.wakeup, 1);
+}
+
+uint64_t ProcessShard(TimerShard& sh, uint64_t now_tick);
+
+void TickerMain() {
+  WheelState& st = Wheel();
+  for (;;) {
+    // Publish "processing": any arm landing from here on kicks the futex,
+    // which (version read below) forces an immediate re-loop instead of a
+    // missed deadline.
+    st.sleep_until_ns.store(INT64_MAX, std::memory_order_release);
+    uint32_t version = st.wakeup.load(std::memory_order_acquire);
+    int64_t now = MonotonicNowNs();
+    uint64_t now_tick = static_cast<uint64_t>(now) >> kTickShift;
+    int64_t next_ns = now + kIdleSleepNs;
+    for (int i = 0; i < st.nshards; ++i) {
+      uint64_t next_tick = ProcessShard(st.shards[i], now_tick);
+      if (next_tick != TimingWheel::kNoEvent) {
+        int64_t ns = static_cast<int64_t>(next_tick << kTickShift);
+        if (ns < next_ns) {
+          next_ns = ns;
+        }
+      }
+    }
+    st.sleep_until_ns.store(next_ns, std::memory_order_release);
+    int64_t timeout = next_ns - MonotonicNowNs();
+    if (timeout > 0) {
+      FutexWait(&st.wakeup, version, /*shared=*/false, timeout);
+    }
+  }
+}
+
+// Sweeps one shard: advance its wheel, claim the due batch, fire outside the
+// lock, then re-bucket periodics and recycle everything else in one relock.
+// Returns the shard's next event tick (kNoEvent when empty).
+uint64_t ProcessShard(TimerShard& sh, uint64_t now_tick) {
+  auto is_tombstone = [](WheelNode* node) {
+    return (EntryFromNode(node)->tag.load(std::memory_order_acquire) &
+            kStateMask) == kStTombstone;
+  };
+
+  WheelNode due;
+  WheelListInit(&due);
+  sh.lock.Lock();
+  // Delays here hold the shard mid-sweep: the window where arms pile into a
+  // slot being turned over and cancels race the claim CAS below.
+  inject::Perturb(inject::kTimerWheel);
+  if (sh.tombstones.load(std::memory_order_relaxed) >= kReapThreshold) {
+    // Enough lazily cancelled entries piled up ahead of their slots: sweep
+    // them wholesale instead of letting them pin pool entries for the
+    // remainder of their (possibly long) original deadlines.
+    sh.wheel.RemoveIf(is_tombstone, &due);
+    sh.sweeps.fetch_add(1, std::memory_order_relaxed);
+  }
+  sh.wheel.Advance(now_tick, &due, is_tombstone);
+  sh.lock.Unlock();
+
+  // Claim pass — BEFORE any callback runs. From the moment an entry leaves
+  // the wheel a cancel must fail (return -1) exactly as it did when the heap
+  // engine popped it, because the timed-wait ack protocol keys off that: a
+  // failed cancel sends the waiter into WaitqAwaitTimeoutFire to spin for
+  // the fire's timeout_fire_seq ack.
+  TimerEntry* reap_head = nullptr;
+  uint32_t reaped = 0;
+  uint32_t reaped_tombstones = 0;
+  WheelNode fire_list;
+  WheelListInit(&fire_list);
+  while (!WheelListEmpty(&due)) {
+    WheelNode* node = due.next;
+    WheelListRemove(node);
+    TimerEntry* e = EntryFromNode(node);
+    uint64_t tag = e->tag.load(std::memory_order_acquire);
+    uint64_t gen = tag >> kGenShift;
+    if (tag != ((gen << kGenShift) | kStArmed) ||
+        !e->tag.compare_exchange_strong(
+            tag, (gen << kGenShift) | kStFiring, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      // A cancel won: the entry is a tombstone — retire this incarnation.
+      e->tag.store(((gen + 1) << kGenShift) | kStFree,
+                   std::memory_order_release);
+      e->free_next = reap_head;
+      reap_head = e;
+      ++reaped;
+      ++reaped_tombstones;
+      continue;
+    }
+    WheelListPushBack(&fire_list, node);
+  }
+
+  // Fire pass — outside every lock; delivery takes package locks of its own.
+  // A cancel landing now flips Firing->FiringCancelled and returns -1; a
+  // claimed wake/callback fire still runs (the timed-wait ack protocol: the
+  // cancelling waiter is already spinning in WaitqAwaitTimeoutFire for the
+  // fire's timeout_fire_seq bump, and the fire owns the callback context).
+  // Signal fires carry no ack and ARE suppressed on a mid-flight cancel: the
+  // claim-to-fire window can stretch across a descheduled ticker, and a
+  // disarmed interval timer's signal landing after the caller restored
+  // SIG_DEFAULT would terminate the process.
+  WheelNode rearm_list;
+  WheelListInit(&rearm_list);
+  while (!WheelListEmpty(&fire_list)) {
+    WheelNode* node = fire_list.next;
+    WheelListRemove(node);
+    TimerEntry* e = EntryFromNode(node);
+    bool cancelled_in_flight =
+        (e->tag.load(std::memory_order_acquire) & kStateMask) ==
+        kStFiringCancelled;
+    bool signal_fire = e->kind == FireKind::kSignalThread ||
+                       e->kind == FireKind::kSignalProcess;
+    if (!(cancelled_in_flight && signal_fire)) {
+      FireEntry(e);
+    }
+    uint64_t gen = e->tag.load(std::memory_order_relaxed) >> kGenShift;
+    int64_t period = e->period_ns.load(std::memory_order_relaxed);
+    uint64_t firing = (gen << kGenShift) | kStFiring;
+    if (period > 0 &&
+        e->tag.compare_exchange_strong(
+            firing, (gen << kGenShift) | kStArmed, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      // Periodic and not cancelled mid-fire: same generation, so the caller's
+      // id stays valid across re-arms.
+      e->deadline_ns += period;
+      e->node.expiry_tick = TickForDeadline(e->deadline_ns);
+      WheelListPushBack(&rearm_list, node);
+    } else {
+      // One-shot done, or a mid-fire cancel suppressed the re-arm.
+      e->tag.store(((gen + 1) << kGenShift) | kStFree,
+                   std::memory_order_release);
+      e->free_next = reap_head;
+      reap_head = e;
+      ++reaped;
+    }
+  }
+
+  sh.lock.Lock();
+  while (!WheelListEmpty(&rearm_list)) {
+    WheelNode* node = rearm_list.next;
+    WheelListRemove(node);
+    sh.wheel.Insert(node);
+  }
+  while (reap_head != nullptr) {
+    TimerEntry* e = reap_head;
+    reap_head = e->free_next;
+    e->free_next = sh.free_list;
+    sh.free_list = e;
+  }
+  uint64_t next_tick = sh.wheel.NextEventTick();
+  sh.lock.Unlock();
+  if (reaped > 0) {
+    sh.pool_free.fetch_add(reaped, std::memory_order_relaxed);
+    sh.reaps.fetch_add(reaped, std::memory_order_relaxed);
+  }
+  if (reaped_tombstones > 0) {
+    sh.tombstones.fetch_sub(reaped_tombstones, std::memory_order_relaxed);
+  }
+  return next_tick;
+}
+
+void EnsureTicker(WheelState& st) {
+  if (st.ticker_started.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (!st.ticker_started.exchange(true, std::memory_order_acq_rel)) {
+    std::thread(&TickerMain).detach();
+  }
+}
+
+timer_id_t WheelArm(int64_t delay_ns, int64_t period_ns, FireKind kind, int sig,
+                    thread_id_t target, sema_t* sema,
+                    void (*fn)(void*, uint64_t), void* cookie, uint64_t arg) {
+  EnsureForkHandler();
+  WheelState& st = Wheel();
+  EnsureTicker(st);
+  int64_t deadline = MonotonicNowNs() + delay_ns;
+  int home = static_cast<int>(stats_internal::ShardToken() %
+                              static_cast<uint32_t>(st.nshards));
+  timer_id_t id = kInvalidTimerId;
+  // Probe past a full shard instead of failing: no timed-wait caller checks
+  // for kInvalidTimerId (an arm that "fails" would strand its waiter spinning
+  // for a fire that never comes), so arming is infallible up to the absurd
+  // 16M-live-timer design capacity.
+  for (int probe = 0; probe < st.nshards; ++probe) {
+    int shard_idx = (home + probe) % st.nshards;
+    TimerShard& sh = st.shards[shard_idx];
+    sh.lock.Lock();
+    TimerEntry* e = PopFreeLocked(sh);
+    if (e == nullptr) {
+      sh.lock.Unlock();
+      continue;
+    }
+    uint64_t gen = e->tag.load(std::memory_order_relaxed) >> kGenShift;
+    e->deadline_ns = deadline;
+    e->period_ns.store(period_ns, std::memory_order_relaxed);
+    e->kind = kind;
+    e->sig = sig;
+    e->target = target;
+    e->sema = sema;
+    e->callback = fn;
+    e->cookie = cookie;
+    e->callback_arg = arg;
+    e->node.expiry_tick = TickForDeadline(deadline);
+    sh.wheel.Insert(&e->node);
+    e->tag.store((gen << kGenShift) | kStArmed, std::memory_order_release);
+    sh.arms.fetch_add(1, std::memory_order_relaxed);
+    sh.lock.Unlock();
+    id = MakeId(gen, e->index, shard_idx);
+    break;
+  }
+  SUNMT_CHECK(id != kInvalidTimerId);
+  if (deadline < st.sleep_until_ns.load(std::memory_order_acquire)) {
+    KickTicker(st);
+  }
+  return id;
+}
+
+int WheelCancel(timer_id_t id) {
+  WheelState& st = Wheel();
+  uint64_t shard_idx = id & kIdShardMask;
+  uint32_t index = static_cast<uint32_t>((id >> kIdShardBits) & kIdIndexMask);
+  uint64_t gen = id >> kIdGenShift;
+  if (gen == 0 || shard_idx >= static_cast<uint64_t>(st.nshards)) {
+    return -1;
+  }
+  TimerShard& sh = st.shards[shard_idx];
+  TimerEntry* chunk =
+      sh.chunks[index / kChunkSize].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    return -1;
+  }
+  TimerEntry* e = &chunk[index % kChunkSize];
+  // Stretches the cancel-vs-claim race: the ticker may be splicing this very
+  // entry's slot right now.
+  inject::Perturb(inject::kTimerWheel);
+  uint64_t tag = e->tag.load(std::memory_order_acquire);
+  for (;;) {
+    if ((tag >> kGenShift) != gen) {
+      return -1;  // this incarnation already fired and was recycled
+    }
+    uint64_t state = tag & kStateMask;
+    if (state == kStArmed) {
+      // Lazy cancellation: tombstone in place, never touch the wheel. The
+      // slot turnover (or a threshold sweep) recycles the entry.
+      if (e->tag.compare_exchange_weak(
+              tag, (gen << kGenShift) | kStTombstone,
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        sh.cancels.fetch_add(1, std::memory_order_relaxed);
+        uint32_t t = sh.tombstones.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (t % kReapThreshold == 0) {
+          KickTicker(st);  // batch boundary: worth a wholesale sweep
+        }
+        return 0;
+      }
+    } else if (state == kStFiring) {
+      // The ticker claimed it first: the fire owns the callback context and
+      // will run; all we can suppress is a periodic re-arm.
+      if (e->tag.compare_exchange_weak(
+              tag, (gen << kGenShift) | kStFiringCancelled,
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        return -1;
+      }
+    } else {
+      return -1;  // free, already tombstoned, or already cancelled mid-fire
+    }
+  }
+}
+
+// ---- Engine dispatch ---------------------------------------------------------
+
+timer_id_t ArmEntry(int64_t delay_ns, int64_t period_ns, FireKind kind, int sig,
+                    thread_id_t target, sema_t* sema,
+                    void (*fn)(void*, uint64_t), void* cookie, uint64_t arg) {
+  if (!UseHeapEngine()) {
+    return WheelArm(delay_ns, period_ns, kind, sig, target, sema, fn, cookie,
+                    arg);
+  }
+  auto* entry = new TimerEntry;
+  entry->deadline_ns = MonotonicNowNs() + delay_ns;
+  entry->period_ns.store(period_ns, std::memory_order_relaxed);
+  entry->kind = kind;
+  entry->sig = sig;
+  entry->target = target;
+  entry->sema = sema;
+  entry->callback = fn;
+  entry->cookie = cookie;
+  entry->callback_arg = arg;
+  return HeapInsert(entry);
 }
 
 }  // namespace
@@ -203,50 +712,35 @@ timer_id_t timer_arm(int64_t first_delay_ns, int64_t period_ns, int sig,
   if (first_delay_ns < 0 || period_ns < 0 || sig < 1 || sig > SIG_MAX) {
     return kInvalidTimerId;
   }
-  auto* entry = new TimerEntry;
-  entry->deadline_ns = MonotonicNowNs() + first_delay_ns;
-  entry->period_ns.store(period_ns, std::memory_order_relaxed);
-  entry->kind = FireKind::kSignalThread;
-  entry->sig = sig;
-  entry->target = target != 0 ? target : thread_get_id();
-  entry->sema = nullptr;
-  return InsertEntry(entry);
+  return ArmEntry(first_delay_ns, period_ns, FireKind::kSignalThread, sig,
+                  target != 0 ? target : thread_get_id(), nullptr, nullptr,
+                  nullptr, 0);
 }
 
 int timer_cancel(timer_id_t id) {
-  TimerEntry* entry = RemoveEntry(id);
-  if (entry == nullptr) {
-    return -1;
-  }
-  delete entry;
-  return 0;
+  return UseHeapEngine() ? HeapCancel(id) : WheelCancel(id);
 }
 
 int64_t timer_set_process_interval(int64_t period_ns, int sig) {
-  EngineState& engine = Engine();
+  SharedState& shared = Shared();
   int64_t previous;
   timer_id_t old_id;
   {
-    SpinLockGuard guard(engine.lock);
-    previous = engine.process_interval_ns;
-    old_id = engine.process_interval_timer;
-    engine.process_interval_ns = period_ns;
-    engine.process_interval_timer = kInvalidTimerId;
+    SpinLockGuard guard(shared.interval_lock);
+    previous = shared.process_interval_ns;
+    old_id = shared.process_interval_timer;
+    shared.process_interval_ns = period_ns;
+    shared.process_interval_timer = kInvalidTimerId;
   }
   if (old_id != kInvalidTimerId) {
     timer_cancel(old_id);
   }
   if (period_ns > 0) {
-    auto* entry = new TimerEntry;
-    entry->deadline_ns = MonotonicNowNs() + period_ns;
-    entry->period_ns.store(period_ns, std::memory_order_relaxed);
-    entry->kind = FireKind::kSignalProcess;
-    entry->sig = sig > 0 ? sig : SIG_ALRM;
-    entry->target = 0;
-    entry->sema = nullptr;
-    timer_id_t id = InsertEntry(entry);
-    SpinLockGuard guard(engine.lock);
-    engine.process_interval_timer = id;
+    timer_id_t id =
+        ArmEntry(period_ns, period_ns, FireKind::kSignalProcess,
+                 sig > 0 ? sig : SIG_ALRM, 0, nullptr, nullptr, nullptr, 0);
+    SpinLockGuard guard(shared.interval_lock);
+    shared.process_interval_timer = id;
   }
   return previous;
 }
@@ -256,17 +750,19 @@ timer_id_t timer_arm_callback(int64_t delay_ns, void (*fn)(void*, uint64_t),
   if (delay_ns < 0 || fn == nullptr) {
     return kInvalidTimerId;
   }
-  auto* entry = new TimerEntry;
-  entry->deadline_ns = MonotonicNowNs() + delay_ns;
-  entry->period_ns.store(0, std::memory_order_relaxed);
-  entry->kind = FireKind::kCallback;
-  entry->sig = 0;
-  entry->target = 0;
-  entry->sema = nullptr;
-  entry->callback = fn;
-  entry->cookie = cookie;
-  entry->callback_arg = arg;
-  return InsertEntry(entry);
+  return ArmEntry(delay_ns, 0, FireKind::kCallback, 0, 0, nullptr, fn, cookie,
+                  arg);
+}
+
+timer_id_t timer_arm_callback_periodic(int64_t first_delay_ns,
+                                       int64_t period_ns,
+                                       void (*fn)(void*, uint64_t),
+                                       void* cookie, uint64_t arg) {
+  if (first_delay_ns < 0 || period_ns <= 0 || fn == nullptr) {
+    return kInvalidTimerId;
+  }
+  return ArmEntry(first_delay_ns, period_ns, FireKind::kCallback, 0, 0, nullptr,
+                  fn, cookie, arg);
 }
 
 void thread_sleep_ns(int64_t ns) {
@@ -275,17 +771,44 @@ void thread_sleep_ns(int64_t ns) {
     return;
   }
   sema_t wake = {};
-  auto* entry = new TimerEntry;
-  entry->deadline_ns = MonotonicNowNs() + ns;
-  entry->period_ns.store(0, std::memory_order_relaxed);
-  entry->kind = FireKind::kWakeSema;
-  entry->sig = 0;
-  entry->target = 0;
-  entry->sema = &wake;
-  InsertEntry(entry);
+  ArmEntry(ns, 0, FireKind::kWakeSema, 0, 0, &wake, nullptr, nullptr, 0);
   sema_p(&wake);  // blocks the thread; its LWP runs other threads meanwhile
 }
 
-uint64_t timer_fire_count() { return Engine().fires.load(std::memory_order_relaxed); }
+uint64_t timer_fire_count() {
+  return Shared().fires.load(std::memory_order_relaxed);
+}
+
+TimerEngineStats timer_engine_stats() {
+  TimerEngineStats s = {};
+  s.fires = Shared().fires.load(std::memory_order_relaxed);
+  if (UseHeapEngine()) {
+    HeapState& engine = Heap();
+    s.wheel_engine = false;
+    s.shards = 1;
+    s.arms = engine.next_id.load(std::memory_order_relaxed) - 1;
+    s.cancels = engine.cancels.load(std::memory_order_relaxed);
+    SpinLockGuard guard(engine.lock);
+    s.live = engine.heap.size();
+    return s;
+  }
+  WheelState& st = Wheel();
+  s.wheel_engine = true;
+  s.shards = st.nshards;
+  for (int i = 0; i < st.nshards; ++i) {
+    TimerShard& sh = st.shards[i];
+    s.tombstones += sh.tombstones.load(std::memory_order_relaxed);
+    s.pool_free += sh.pool_free.load(std::memory_order_relaxed);
+    s.pool_allocated += sh.pool_alloc.load(std::memory_order_relaxed);
+    s.arms += sh.arms.load(std::memory_order_relaxed);
+    s.cancels += sh.cancels.load(std::memory_order_relaxed);
+    s.reaps += sh.reaps.load(std::memory_order_relaxed);
+    s.sweeps += sh.sweeps.load(std::memory_order_relaxed);
+    SpinLockGuard guard(sh.lock);
+    s.live += sh.wheel.size();
+    s.cascades += sh.wheel.cascades();
+  }
+  return s;
+}
 
 }  // namespace sunmt

@@ -46,6 +46,14 @@ int timer_cancel(timer_id_t id);
 timer_id_t timer_arm_callback(int64_t delay_ns, void (*fn)(void* cookie, uint64_t arg),
                               void* cookie, uint64_t arg);
 
+// Like timer_arm_callback but re-fires every `period_ns` after the first
+// expiry until cancelled. Cancelling from inside the callback is allowed and
+// is the idiomatic self-disarm: the cancel returns -1 (the fire is in
+// flight) and suppresses every subsequent re-arm.
+timer_id_t timer_arm_callback_periodic(int64_t first_delay_ns, int64_t period_ns,
+                                       void (*fn)(void* cookie, uint64_t arg),
+                                       void* cookie, uint64_t arg);
+
 // Like cv_wait() but bounded: returns 0 if signaled, ETIME if `timeout_ns`
 // elapsed first. The mutex is reacquired before returning in either case, and
 // the paper's re-test rule still applies (the shared variant may also wake
@@ -69,6 +77,26 @@ inline void thread_sleep_ms(int64_t ms) { thread_sleep_ns(ms * 1000 * 1000); }
 
 // Total timer expirations delivered so far (tests/observability).
 uint64_t timer_fire_count();
+
+// Engine introspection snapshot — the TIMER line in FormatProcessState() and
+// the hooks the wheel tests assert reuse/reap behavior through. Counters are
+// cumulative since process start (reset in a fork1() child along with the
+// engine itself).
+struct TimerEngineStats {
+  bool wheel_engine;         // false = legacy heap engine (SUNMT_TIMER_ENGINE=heap)
+  int shards;                // wheel shard count (1 for the heap engine)
+  uint64_t live;             // nodes resident in the wheels/heap, incl. tombstones
+  uint64_t tombstones;       // lazily cancelled entries awaiting reap (wheel only)
+  uint64_t pool_free;        // pooled entries on shard free lists (wheel only)
+  uint64_t pool_allocated;   // entries ever carved from shard chunks (wheel only)
+  uint64_t arms;             // successful arm operations
+  uint64_t cancels;          // cancels that returned 0
+  uint64_t fires;            // expirations delivered (== timer_fire_count())
+  uint64_t reaps;            // entries recycled onto free lists (wheel only)
+  uint64_t sweeps;           // wholesale tombstone sweeps (wheel only)
+  uint64_t cascades;         // wheel slot cascades (wheel only)
+};
+TimerEngineStats timer_engine_stats();
 
 }  // namespace sunmt
 

@@ -193,10 +193,12 @@ TEST(ShakedownRegression, SemaStaleTimerKeepsFifoPosition) {
   std::atomic<bool> a_in_second{false};
   std::atomic<int> rc1{-1}, rc2{-1};
 
-  // Engine busy ~52..62ms, then ~62..92ms; A's 55ms timer is popped at ~62ms
-  // together with the second sleeper and fires at ~92ms.
+  // Engine busy ~52..62ms, then ~62..122ms; A's 55ms timer is popped at ~62ms
+  // together with the second sleeper and fires at ~122ms. The 70ms sleep below
+  // has to land inside that busy window even when a loaded machine oversleeps
+  // it, so the window is generous.
   timer_arm_callback(52 * kMs, &SleepCallback, nullptr, 10);
-  timer_arm_callback(53 * kMs, &SleepCallback, nullptr, 30);
+  timer_arm_callback(53 * kMs, &SleepCallback, nullptr, 60);
 
   thread_id_t a = Spawn([&] {
     rc1.store(sema_p_timed(&s, 55 * kMs));  // woken by the t=70ms credit
@@ -215,7 +217,7 @@ TEST(ShakedownRegression, SemaStaleTimerKeepsFifoPosition) {
 
   usleep(70 * 1000);   // t=70ms: engine holds A's popped timer; cancel will fail
   sema_v(&s);          // direct hand-off to A's first wait
-  usleep(30 * 1000);   // t=100ms: the stale fire (~92ms) has run
+  usleep(65 * 1000);   // t=135ms: the stale fire (~122ms) has run
   sema_v(&s);          // must wake A — the FIFO head
   usleep(10 * 1000);
   sema_v(&s);          // wakes B
@@ -240,7 +242,7 @@ TEST(ShakedownRegression, CvStaleTimerKeepsFifoPosition) {
   std::atomic<int> rc1{-1}, rc2{-1}, rcb{-1};
 
   timer_arm_callback(52 * kMs, &SleepCallback, nullptr, 10);
-  timer_arm_callback(53 * kMs, &SleepCallback, nullptr, 30);
+  timer_arm_callback(53 * kMs, &SleepCallback, nullptr, 60);
 
   thread_id_t a = Spawn([&] {
     mutex_enter(&m);
@@ -265,7 +267,7 @@ TEST(ShakedownRegression, CvStaleTimerKeepsFifoPosition) {
 
   usleep(70 * 1000);
   cv_signal(&cv);  // wakes A's first wait; its popped timer fires later, stale
-  usleep(30 * 1000);
+  usleep(65 * 1000);
   cv_signal(&cv);  // must wake A — the FIFO head
   usleep(10 * 1000);
   cv_signal(&cv);  // wakes B

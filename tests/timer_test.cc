@@ -115,6 +115,15 @@ TEST(Timer, ProcessIntervalTimerRaisesProcessInterrupt) {
   }
   EXPECT_GE(g_alarms.load(), 2);
   EXPECT_EQ(timer_set_process_interval(0, SIG_ALRM), 3 * 1000 * 1000);
+  // The disarm stops future fires, but one that already raised SIG_ALRM
+  // leaves it pending at process level; drain it into the still-installed
+  // handler before dropping back to SIG_DEFAULT, whose action terminates.
+  // (Under CPU load the wait loop above can be descheduled long enough for
+  // several interval fires to pile up pending.)
+  for (int i = 0; i < 3; ++i) {
+    thread_poll();
+    thread_yield();
+  }
   signal_handler_set(SIG_ALRM, SIG_DEFAULT);
 }
 
