@@ -36,11 +36,13 @@ prev_micro="$(mktemp)"
 prev_scale="$(mktemp)"
 prev_mutex="$(mktemp)"
 prev_http="$(mktemp)"
-trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex" "$prev_http"' EXIT
+prev_timer="$(mktemp)"
+trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex" "$prev_http" "$prev_timer"' EXIT
 cp "$repo/BENCH_abl_microtask.json" "$prev_micro" 2>/dev/null || true
 cp "$repo/BENCH_abl_thread_scale.json" "$prev_scale" 2>/dev/null || true
 cp "$repo/BENCH_abl_mutex_variants.json" "$prev_mutex" 2>/dev/null || true
 cp "$repo/BENCH_abl_http_load.json" "$prev_http" 2>/dev/null || true
+cp "$repo/BENCH_abl_timer_churn.json" "$prev_timer" 2>/dev/null || true
 
 failed=0
 for bin in "${benches[@]}"; do
@@ -180,6 +182,38 @@ print(f"  churn: wheel {m.get('churn_pairs_per_s', 0):.0f} pairs/s, "
 if speedup < 2.0:
     sys.exit(f"timer wheel churn speedup {speedup:.2f}x below the 2x floor")
 print("  timer-wheel speedup within bounds")
+PY
+fi
+
+# ---- Timer-churn regression gate ---------------------------------------------
+# The timed-wait hot path (arm/cancel plus the per-wait ctx now coming from the
+# object cache) feeds abl_timer_churn's wheel-engine numbers; fail if the
+# cancel/re-arm churn rate regresses more than 10% + the measured noise floor
+# against the recorded baseline. Same best-of-2 construction as the http gate
+# (the shared 1-CPU box swings ~±25% run to run).
+timerb="$build/bench/abl_timer_churn"
+if [[ -s "$prev_timer" && -s "$repo/BENCH_abl_timer_churn.json" && -x "$timerb" && $failed -eq 0 ]]; then
+  echo "== timer churn rate (best-of-2 pairs/s vs recorded baseline) =="
+  out2="$("$timerb" "$@" 2>&1)" || { echo "$out2"; exit 1; }
+  rerun="$(printf '%s\n' "$out2" | grep -E '^BENCH_abl_timer_churn\.json ' | tail -1)"
+  python3 - "$prev_timer" "$repo/BENCH_abl_timer_churn.json" <<PY || failed=1
+import json, sys
+prev = json.load(open(sys.argv[1]))["metrics"]
+run1 = json.load(open(sys.argv[2]))["metrics"]
+run2 = json.loads("""${rerun#BENCH_abl_timer_churn.json }""")["metrics"]
+key = "churn_pairs_per_s"
+if key not in prev or key not in run1 or key not in run2:
+    print(f"  {key} missing from baseline or fresh runs; skipping gate")
+    sys.exit(0)
+best = max(run1[key], run2[key])
+noise = best / min(run1[key], run2[key]) - 1
+allowed = 0.10 + noise
+delta = best / prev[key] - 1
+print(f"  {key}: {prev[key]:.0f} -> {best:.0f} best-of-2 "
+      f"({delta:+.2%}, noise floor {noise:.2%}, allowed -{allowed:.2%})")
+if delta < -allowed:
+    sys.exit(f"timer churn rate regressed beyond 10% + noise floor")
+print("  timer churn rate within bounds")
 PY
 fi
 

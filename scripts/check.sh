@@ -12,7 +12,11 @@
 #      see src/debug) plain and under TSan, plus a full-suite pass with
 #      SUNMT_DEBUG=lockorder to prove the detector stays false-positive-free
 #      on every locking pattern the tests exercise.
-#   4. Shakedown lane: the `inject` label (seeded perturbation sweep, see
+#   4. Zero-alloc lane: the object-cache steady-state assertion run on its
+#      own for visibility — warm caches, churn sema/cv/net deadline waits and
+#      HTTP connections, and require the process-wide cache-fallback counter
+#      (hot-path `new` calls that missed every magazine/depot) to stay flat.
+#   5. Shakedown lane: the `inject` label (seeded perturbation sweep, see
 #      src/inject) in both builds, plus an env-injected run of the net/http/
 #      stats/sched/lifecycle/timer labels (schedule ops only — fault/short would
 #      violate those tests' exact-timing expectations; the http test layers its
@@ -52,6 +56,13 @@ SUNMT_SHAKEDOWN_SEEDS=16 \
 # every test doubles as lockdep input, and a false positive would abort here.
 SUNMT_DEBUG=lockorder \
   ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+echo
+echo "== zero-alloc: object-cache steady-state assertion =="
+# Runs inside the full suite too; the dedicated invocation makes a hot-path
+# allocation regression fail loudly under its own banner instead of hiding in
+# the tier-1 wall of green.
+ctest --test-dir "$repo/build" --output-on-failure -R object_cache_test
 
 echo
 echo "== shakedown: inject label (plain + tsan) =="

@@ -4,13 +4,8 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
-#include <atomic>
-#include <new>
-
-#include "src/inject/inject.h"
 #include "src/util/check.h"
-#include "src/util/intrusive_list.h"
-#include "src/util/spinlock.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
 namespace {
@@ -33,135 +28,20 @@ struct Entry {
   size_t size;
 };
 
-// The depot: the shared, locked tier. Touched only on magazine refill/flush
-// (one lock trip per kRefillBatch create/exits) and by the cold maintenance
-// entry points (Drain/Snapshot/fork repair).
-struct Depot {
-  SpinLock lock;
-  size_t count = 0;
-  Entry entries[StackCache::kDepotCapacity];
+// The magazine/depot machinery lives in the shared ObjectCache template (see
+// src/util/object_cache.h) — this file only supplies the mapping record and
+// how to dispose of one that falls out of the cache.
+struct StackCacheTraits {
+  static constexpr const char* kName = "stack";
+  static constexpr size_t kMagazineCapacity = StackCache::kMagazineCapacity;
+  static constexpr size_t kDepotCapacity = StackCache::kDepotCapacity;
+  static constexpr size_t kRefillBatch = StackCache::kRefillBatch;
+  static void Evict(Entry& e) {
+    SUNMT_CHECK(munmap(e.map_base, e.map_size) == 0);
+  }
 };
 
-Depot& GlobalDepot() {
-  static Depot* depot = new Depot;  // leaked: outlives all threads
-  return *depot;
-}
-
-// Bumped by ResetAfterFork so magazines inherited from the parent notice they
-// are stale and re-register (abandoning parent-cached entries) on next use.
-std::atomic<uint32_t> g_fork_epoch{0};
-
-// Misses allocate outside any lock, so their counter is a plain atomic.
-std::atomic<uint64_t> g_misses{0};
-
-// Per-kernel-thread magazine. The lock is almost always uncontended — only
-// the owning thread takes it on the hot path; Drain/Snapshot/CachedCount take
-// it cross-thread — so steady-state create/exit costs an uncontended CAS, not
-// a shared-lock round trip.
-struct Magazine {
-  SpinLock lock;
-  size_t count = 0;
-  uint64_t hits = 0;
-  uint64_t refills = 0;
-  uint64_t flushes = 0;
-  uint32_t fork_epoch = 0;
-  bool registered = false;
-  Entry entries[StackCache::kMagazineCapacity];
-  ListNode registry_node;
-
-  ~Magazine();
-};
-
-// Registry of live magazines so the cold entry points can reach entries cached
-// in other threads' magazines. Counters of destroyed magazines are folded into
-// the retired_* accumulators so Snapshot() stays monotonic.
-struct MagazineRegistry {
-  SpinLock lock;
-  IntrusiveList<Magazine, &Magazine::registry_node> magazines;
-  uint64_t retired_hits = 0;
-  uint64_t retired_refills = 0;
-  uint64_t retired_flushes = 0;
-};
-
-MagazineRegistry& Registry() {
-  static MagazineRegistry* reg = new MagazineRegistry;  // leaked
-  return *reg;
-}
-
-void FreeEntry(const Entry& e) { SUNMT_CHECK(munmap(e.map_base, e.map_size) == 0); }
-
-// Flushes the oldest `n` entries of `m` (owner lock held) toward the depot;
-// entries that do not fit are freed after both locks drop.
-void FlushBatchLocked(Magazine& m, size_t n) {
-  Entry overflow[StackCache::kMagazineCapacity];
-  size_t overflow_count = 0;
-  if (n > m.count) {
-    n = m.count;
-  }
-  if (n == 0) {
-    return;
-  }
-  inject::Perturb(inject::kStackMagazine);
-  Depot& d = GlobalDepot();
-  {
-    SpinLockGuard guard(d.lock);
-    for (size_t i = 0; i < n; ++i) {
-      if (d.count < StackCache::kDepotCapacity) {
-        d.entries[d.count++] = m.entries[i];
-      } else {
-        overflow[overflow_count++] = m.entries[i];
-      }
-    }
-  }
-  // Keep the hottest (most recently recycled) entries: shift the survivors down.
-  for (size_t i = n; i < m.count; ++i) {
-    m.entries[i - n] = m.entries[i];
-  }
-  m.count -= n;
-  m.flushes++;
-  for (size_t i = 0; i < overflow_count; ++i) {
-    FreeEntry(overflow[i]);
-  }
-}
-
-Magazine::~Magazine() {
-  // A magazine left over from before a fork belongs to the parent's cache
-  // generation; its registry link and entries are meaningless here. Abandon.
-  if (!registered || fork_epoch != g_fork_epoch.load(std::memory_order_acquire)) {
-    return;
-  }
-  {
-    SpinLockGuard guard(lock);
-    FlushBatchLocked(*this, count);
-  }
-  MagazineRegistry& r = Registry();
-  SpinLockGuard guard(r.lock);
-  r.magazines.TryRemove(this);
-  r.retired_hits += hits;
-  r.retired_refills += refills;
-  r.retired_flushes += flushes;
-}
-
-// The calling kernel thread's magazine, (re)registered on first use and after
-// a fork. Registration is the only path where the owner touches the registry
-// lock, and it never holds its own magazine lock while doing so.
-Magazine& LocalMagazine() {
-  thread_local Magazine magazine;
-  uint32_t epoch = g_fork_epoch.load(std::memory_order_acquire);
-  if (__builtin_expect(!magazine.registered || magazine.fork_epoch != epoch, 0)) {
-    magazine.lock.Reset();  // may carry the parent's locked image across fork
-    magazine.count = 0;     // parent-generation entries are not ours to free
-    magazine.fork_epoch = epoch;
-    // The link may carry stale parent-era pointers (the child's registry was
-    // rebuilt empty); reset it so PushBack sees a clean node.
-    magazine.registry_node = ListNode{};
-    MagazineRegistry& r = Registry();
-    SpinLockGuard guard(r.lock);
-    r.magazines.PushBack(&magazine);
-    magazine.registered = true;
-  }
-  return magazine;
-}
+using Impl = ObjectCache<Entry, StackCacheTraits>;
 
 }  // namespace
 
@@ -217,29 +97,10 @@ void Stack::Release() {
 }
 
 Stack StackCache::Acquire() {
-  Magazine& m = LocalMagazine();
-  m.lock.Lock();
-  if (m.count == 0) {
-    // Empty magazine: one depot trip buys up to kRefillBatch future acquires.
-    inject::Perturb(inject::kStackMagazine);
-    Depot& d = GlobalDepot();
-    SpinLockGuard guard(d.lock);
-    size_t take = d.count < kRefillBatch ? d.count : kRefillBatch;
-    for (size_t i = 0; i < take; ++i) {
-      m.entries[m.count++] = d.entries[--d.count];
-    }
-    if (take > 0) {
-      m.refills++;
-    }
-  }
-  if (m.count > 0) {
-    Entry e = m.entries[--m.count];
-    m.hits++;
-    m.lock.Unlock();
+  Entry e;
+  if (Impl::Acquire(&e)) {
     return Stack(e.base, e.size, e.map_base, e.map_size, /*owned=*/true);
   }
-  m.lock.Unlock();
-  g_misses.fetch_add(1, std::memory_order_relaxed);
   return Stack::AllocateOwned(Stack::kDefaultSize);
 }
 
@@ -247,95 +108,30 @@ void StackCache::Recycle(Stack stack) {
   if (!stack.owned() || stack.size() != RoundUpToPage(Stack::kDefaultSize)) {
     return;  // destructor frees it
   }
-  Magazine& m = LocalMagazine();
-  SpinLockGuard guard(m.lock);
-  if (m.count == kMagazineCapacity) {
-    FlushBatchLocked(m, kRefillBatch);
-  }
   // Steal the mapping from the Stack object so its destructor doesn't unmap it.
-  Entry& e = m.entries[m.count++];
+  Entry e;
   e.base = stack.base();
   e.size = stack.size();
   e.map_base = stack.map_base_;
   e.map_size = stack.map_size_;
   stack.Disown();
+  Impl::Release(e);
 }
 
-size_t StackCache::CachedCount() {
-  size_t total;
-  {
-    Depot& d = GlobalDepot();
-    SpinLockGuard guard(d.lock);
-    total = d.count;
-  }
-  MagazineRegistry& r = Registry();
-  SpinLockGuard guard(r.lock);
-  r.magazines.ForEach([&](Magazine* m) {
-    SpinLockGuard mguard(m->lock);
-    total += m->count;
-  });
-  return total;
-}
+size_t StackCache::CachedCount() { return Impl::CachedCount(); }
 
-void StackCache::ResetAfterFork() {
-  Depot& d = GlobalDepot();
-  new (&d.lock) SpinLock();
-  d.count = 0;
-  MagazineRegistry& r = Registry();
-  new (&r) MagazineRegistry();
-  // Surviving magazines notice the new epoch and re-register with clean state.
-  g_fork_epoch.fetch_add(1, std::memory_order_release);
-}
-
-void StackCache::Drain() {
-  // Pull every magazine's entries into the depot first (so there is a single
-  // place to free from), then empty the depot. Entries are freed outside the
-  // magazine locks; the depot overflow inside FlushBatchLocked frees directly.
-  {
-    MagazineRegistry& r = Registry();
-    SpinLockGuard guard(r.lock);
-    r.magazines.ForEach([&](Magazine* m) {
-      SpinLockGuard mguard(m->lock);
-      FlushBatchLocked(*m, m->count);
-    });
-  }
-  Entry drained[kDepotCapacity];
-  size_t drained_count;
-  {
-    Depot& d = GlobalDepot();
-    SpinLockGuard guard(d.lock);
-    drained_count = d.count;
-    for (size_t i = 0; i < drained_count; ++i) {
-      drained[i] = d.entries[i];
-    }
-    d.count = 0;
-  }
-  for (size_t i = 0; i < drained_count; ++i) {
-    FreeEntry(drained[i]);
-  }
-}
+void StackCache::Drain() { Impl::Drain(); }
 
 StackCache::Counters StackCache::Snapshot() {
+  ObjectCacheStats s = Impl::Snapshot();
   Counters c;
-  c.misses = g_misses.load(std::memory_order_relaxed);
-  {
-    Depot& d = GlobalDepot();
-    SpinLockGuard guard(d.lock);
-    c.depot_depth = d.count;
-  }
-  MagazineRegistry& r = Registry();
-  SpinLockGuard guard(r.lock);
-  c.hits = r.retired_hits;
-  c.refills = r.retired_refills;
-  c.flushes = r.retired_flushes;
-  r.magazines.ForEach([&](Magazine* m) {
-    SpinLockGuard mguard(m->lock);
-    c.hits += m->hits;
-    c.refills += m->refills;
-    c.flushes += m->flushes;
-    c.magazine_depth += m->count;
-    c.magazine_count++;
-  });
+  c.hits = s.hits;
+  c.misses = s.misses;
+  c.refills = s.refills;
+  c.flushes = s.flushes;
+  c.depot_depth = s.depot_depth;
+  c.magazine_count = s.magazine_count;
+  c.magazine_depth = s.magazine_depth;
   return c;
 }
 

@@ -65,6 +65,13 @@ class Stack {
 // owns a small thread-local magazine; a locked global depot backs all
 // magazines and is touched only in batches of kRefillBatch, so steady-state
 // Acquire/Recycle never takes a shared lock. Thread-safe.
+//
+// The magazine machinery itself is the shared ObjectCache template
+// (src/util/object_cache.h); this class is the stack-shaped facade over it.
+// Fork repair rides the common path: ObjectCacheResetAfterForkAll() (called
+// from Runtime::ResetAfterFork) rebuilds this cache along with every other
+// registered object cache, and its counters print as the "stack" OBJCACHE
+// line in FormatProcessState().
 class StackCache {
  public:
   // Depot capacity (global, shared) and per-LWP magazine capacity. A magazine
@@ -85,11 +92,6 @@ class StackCache {
   // Frees all cached stacks, including entries sitting in other LWPs'
   // magazines (for leak-sensitive tests).
   static void Drain();
-
-  // fork1() child-side repair: reinitializes the cache locks and forgets
-  // cached entries (the child's copies are reachable only here; abandoning
-  // them is safe and simple). Surviving magazines re-register lazily.
-  static void ResetAfterFork();
 
   // Aggregate cache effectiveness counters (monotonic except the depth/count
   // gauges), exported via FormatProcessState().

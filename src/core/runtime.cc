@@ -13,6 +13,7 @@
 #include "src/lwp/lwp_clock.h"
 #include "src/util/check.h"
 #include "src/util/clock.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
 namespace {
@@ -88,7 +89,9 @@ void Runtime::ResetAfterFork() {
       handler();
     }
   }
-  StackCache::ResetAfterFork();
+  // One fork-repair path for every magazine cache (stacks, timed-wait ctxs,
+  // HTTP conn args, cxx closures): rebuild depots/registries, bump the epoch.
+  ObjectCacheResetAfterForkAll();
   TlsArena::ResetLockAfterFork();
   g_initialized.store(false, std::memory_order_release);
   g_runtime.store(nullptr, std::memory_order_release);

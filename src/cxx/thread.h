@@ -13,8 +13,21 @@
 
 #include "src/core/thread.h"
 #include "src/util/check.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
+
+namespace cxx_internal {
+
+// One closure block per Thread(): cached per-LWP so spawn loops don't heap-
+// allocate per thread (the std::function's own captured state may still,
+// if the callable outgrows the small-object buffer).
+struct ClosureCacheTag {
+  static constexpr const char* kName = "cxx.closure";
+};
+using ClosureAlloc = CachedAlloc<std::function<void()>, ClosureCacheTag>;
+
+}  // namespace cxx_internal
 
 class Thread {
  public:
@@ -31,7 +44,7 @@ class Thread {
   // Spawns a joinable thread running `fn`.
   template <typename Fn>
   explicit Thread(Fn&& fn, const Options& options = {}) {
-    auto* closure = new std::function<void()>(std::forward<Fn>(fn));
+    auto* closure = cxx_internal::ClosureAlloc::New(std::forward<Fn>(fn));
     int flags = THREAD_WAIT;
     if (options.bound) {
       flags |= THREAD_BIND_LWP;
@@ -44,7 +57,7 @@ class Thread {
     }
     id_ = thread_create(nullptr, options.stack_size, &Trampoline, closure, flags);
     if (id_ == kInvalidThreadId) {
-      delete closure;
+      cxx_internal::ClosureAlloc::Delete(closure);
       SUNMT_PANIC("sunmt::Thread creation failed");
     }
     if (options.priority >= 0) {
@@ -86,7 +99,7 @@ class Thread {
   static void Trampoline(void* arg) {
     auto* closure = static_cast<std::function<void()>*>(arg);
     (*closure)();
-    delete closure;
+    cxx_internal::ClosureAlloc::Delete(closure);
   }
 
   void JoinIfJoinable() {

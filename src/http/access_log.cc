@@ -85,12 +85,12 @@ void HttpAccessLog::LoggerMain(void* arg) {
   char line[kMaxLine];
   bool sink_ok = true;  // on sink failure keep draining so Stop() never hangs
   for (;;) {
+    // Recv returns bytes *copied* (never more than sizeof(line)) — the line
+    // below may be a truncated prefix if a producer somehow oversized, but it
+    // can never make us read past what Recv wrote.
     size_t len = log->queue_->Recv(line, sizeof(line));
     if (len == 1 && line[0] == kStopSentinel) {
       return;
-    }
-    if (len > sizeof(line)) {
-      len = sizeof(line);  // oversized messages cannot happen; be safe
     }
     size_t off = 0;
     while (sink_ok && off < len) {

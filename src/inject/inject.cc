@@ -185,6 +185,7 @@ const char* PointName(Point p) {
     case kNetWaitReady:    return "net.wait_ready";
     case kIoSyscall:       return "io.syscall";
     case kStackMagazine:   return "stack.magazine";
+    case kObjectCache:     return "objcache.magazine";
     case kRegistryShard:   return "registry.shard";
     case kLockdep:         return "lockdep.check";
     case kTimerWheel:      return "timer.wheel";

@@ -65,6 +65,7 @@ enum Point : uint8_t {
   kNetWaitReady,         // NetPoller::WaitReady entry (fault: spurious ready)
   kIoSyscall,            // io_* blocking wrapper syscall attempt (fault)
   kStackMagazine,        // stack-cache magazine refill/flush (depot hand-off)
+  kObjectCache,          // object-cache magazine refill/flush (depot hand-off)
   kRegistryShard,        // thread-registry shard lookup/iteration entry
   kLockdep,              // lockdep order-check / pre-block walk (SUNMT_DEBUG)
   kTimerWheel,           // timer-wheel shard sweep & lock-free cancel CAS

@@ -3,7 +3,6 @@
 #include <cinttypes>
 #include <cstring>
 
-#include "src/arch/stack.h"
 #include "src/core/runtime.h"
 #include "src/core/scheduler.h"
 #include "src/core/tcb.h"
@@ -11,6 +10,7 @@
 #include "src/inject/inject.h"
 #include "src/lwp/lwp.h"
 #include "src/timer/timer.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
 namespace {
@@ -199,13 +199,26 @@ std::string FormatProcessState() {
     snprintf(line, sizeof(line), " overflow:%zu\n", overflow_depth);
     out += line;
   }
-  StackCache::Counters sc = StackCache::Snapshot();
-  snprintf(line, sizeof(line),
-           "STACKCACHE hits=%" PRIu64 " misses=%" PRIu64 " refills=%" PRIu64
-           " flushes=%" PRIu64 " depot=%zu magazines=%zu depth=%zu\n",
-           sc.hits, sc.misses, sc.refills, sc.flushes, sc.depot_depth,
-           sc.magazine_count, sc.magazine_depth);
+  // One header plus one line per registered magazine cache (stack, timed-wait
+  // ctxs, HTTP conn args, cxx closures, ...). fallback_allocs is the process-
+  // wide count of hot-path misses that hit a real allocator — the number the
+  // zero-alloc steady-state tests pin at zero.
+  ObjectCacheStats caches[16];
+  size_t cache_count =
+      ObjectCacheSnapshotAll(caches, sizeof(caches) / sizeof(caches[0]));
+  snprintf(line, sizeof(line), "OBJCACHE caches=%zu fallback_allocs=%" PRIu64 "\n",
+           cache_count, ObjectCacheFallbackAllocs());
   out += line;
+  for (size_t i = 0; i < cache_count; ++i) {
+    const ObjectCacheStats& oc = caches[i];
+    snprintf(line, sizeof(line),
+             "      %-16s hits=%" PRIu64 " misses=%" PRIu64 " refills=%" PRIu64
+             " flushes=%" PRIu64 " evictions=%" PRIu64
+             " depot=%zu magazines=%zu depth=%zu\n",
+             oc.name, oc.hits, oc.misses, oc.refills, oc.flushes, oc.evictions,
+             oc.depot_depth, oc.magazine_count, oc.magazine_depth);
+    out += line;
+  }
   TimerEngineStats ts = timer_engine_stats();
   snprintf(line, sizeof(line),
            "TIMER engine=%s shards=%d live=%" PRIu64 " tombstones=%" PRIu64

@@ -49,14 +49,30 @@ MessageQueue* MessageQueue::OpenAt(void* memory) {
   return queue;
 }
 
-char* MessageQueue::SlotAt(uint32_t index) {
+char* MessageQueue::SlotAt(uint32_t position) {
+  SUNMT_DCHECK(position < capacity_);
   return reinterpret_cast<char*>(this + 1) +
-         SlotStride(max_message_size_) * (index % capacity_);
+         SlotStride(max_message_size_) * position;
+}
+
+uint32_t MessageQueue::NextPosition(uint32_t position, uint32_t capacity) {
+  // See the header: positions wrap at capacity, never at 2^32, so the slot
+  // sequence stays continuous for any capacity.
+  return position + 1 == capacity ? 0 : position + 1;
+}
+
+void MessageQueue::TestOnlySetLogicalPositions(uint32_t count) {
+  mutex_enter(&ring_lock_);
+  SUNMT_CHECK(depth_.load(std::memory_order_relaxed) == 0);
+  head_ = count % capacity_;
+  tail_ = head_;
+  mutex_exit(&ring_lock_);
 }
 
 void MessageQueue::Enqueue(const void* data, size_t len) {
   mutex_enter(&ring_lock_);
-  char* slot = SlotAt(tail_++);
+  char* slot = SlotAt(tail_);
+  tail_ = NextPosition(tail_, capacity_);
   auto len32 = static_cast<uint32_t>(len);
   memcpy(slot, &len32, sizeof(len32));
   memcpy(slot + sizeof(len32), data, len);
@@ -65,17 +81,24 @@ void MessageQueue::Enqueue(const void* data, size_t len) {
   sema_v(&queued_items_);
 }
 
-size_t MessageQueue::Dequeue(void* buf, size_t buf_size) {
+size_t MessageQueue::Dequeue(void* buf, size_t buf_size, size_t* full_len) {
   mutex_enter(&ring_lock_);
-  char* slot = SlotAt(head_++);
+  char* slot = SlotAt(head_);
+  head_ = NextPosition(head_, capacity_);
   uint32_t len = 0;
   memcpy(&len, slot, sizeof(len));
+  // Contract: return bytes copied (bounded by buf_size), surface the sender's
+  // length separately. Returning the raw `len` would invite a short-buffer
+  // caller to read `len` bytes from a buffer that only ever held `copy`.
   size_t copy = len < buf_size ? len : buf_size;
   memcpy(buf, slot + sizeof(len), copy);
   depth_.fetch_sub(1, std::memory_order_release);
   mutex_exit(&ring_lock_);
   sema_v(&free_slots_);
-  return len;
+  if (full_len != nullptr) {
+    *full_len = len;
+  }
+  return copy;
 }
 
 bool MessageQueue::Send(const void* data, size_t len) {
@@ -103,23 +126,24 @@ bool MessageQueue::SendTimed(const void* data, size_t len, int64_t timeout_ns) {
   return true;
 }
 
-size_t MessageQueue::Recv(void* buf, size_t buf_size) {
+size_t MessageQueue::Recv(void* buf, size_t buf_size, size_t* full_len) {
   sema_p(&queued_items_);
-  return Dequeue(buf, buf_size);
+  return Dequeue(buf, buf_size, full_len);
 }
 
-size_t MessageQueue::TryRecv(void* buf, size_t buf_size) {
+size_t MessageQueue::TryRecv(void* buf, size_t buf_size, size_t* full_len) {
   if (!sema_tryp(&queued_items_)) {
     return SIZE_MAX;
   }
-  return Dequeue(buf, buf_size);
+  return Dequeue(buf, buf_size, full_len);
 }
 
-size_t MessageQueue::RecvTimed(void* buf, size_t buf_size, int64_t timeout_ns) {
+size_t MessageQueue::RecvTimed(void* buf, size_t buf_size, int64_t timeout_ns,
+                               size_t* full_len) {
   if (!sema_p_timed(&queued_items_, timeout_ns)) {
     return SIZE_MAX;
   }
-  return Dequeue(buf, buf_size);
+  return Dequeue(buf, buf_size, full_len);
 }
 
 }  // namespace sunmt

@@ -8,8 +8,11 @@
 // so the THREAD_SYNC_SHARED variant works across processes when the queue is
 // placed in a SharedArena (the layout is address-free).
 //
-// Messages are byte strings up to max_message_size; Recv returns the sender's
-// exact length. MPMC-safe.
+// Messages are byte strings up to max_message_size; Recv copies at most the
+// caller's buffer size and returns the number of bytes copied, with the
+// sender's full length available through the optional out-parameter (so a
+// short-buffer caller can detect truncation without ever being handed a
+// length larger than what was written into its buffer). MPMC-safe.
 
 #ifndef SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_
 #define SUNMT_SRC_MSGQ_MESSAGE_QUEUE_H_
@@ -47,13 +50,20 @@ class MessageQueue {
   bool SendTimed(const void* data, size_t len, int64_t timeout_ns);
 
   // ---- Receiving -------------------------------------------------------------
-  // Blocks while empty. Copies at most buf_size bytes (truncating) and returns
-  // the message's original length.
-  size_t Recv(void* buf, size_t buf_size);
+  // All receive variants copy min(message length, buf_size) bytes into `buf`
+  // and return the number of bytes *copied* — never more than buf_size, so a
+  // caller may hand the return value straight to write()/memcpy without
+  // overreading its own buffer. When the message was longer than buf_size the
+  // tail is dropped; `*full_len` (if non-null) always gets the sender's
+  // original length, which is how a caller detects and sizes the truncation.
+  //
+  // Blocks while empty.
+  size_t Recv(void* buf, size_t buf_size, size_t* full_len = nullptr);
   // Non-blocking: returns SIZE_MAX if empty.
-  size_t TryRecv(void* buf, size_t buf_size);
+  size_t TryRecv(void* buf, size_t buf_size, size_t* full_len = nullptr);
   // Bounded: returns SIZE_MAX on timeout.
-  size_t RecvTimed(void* buf, size_t buf_size, int64_t timeout_ns);
+  size_t RecvTimed(void* buf, size_t buf_size, int64_t timeout_ns,
+                   size_t* full_len = nullptr);
 
   uint32_t capacity() const { return capacity_; }
   uint32_t max_message_size() const { return max_message_size_; }
@@ -75,17 +85,32 @@ class MessageQueue {
 
   static constexpr uint64_t kMagic = 0x53554e4d54515545ull;  // "SUNMTQUE"
 
-  char* SlotAt(uint32_t index);
+  char* SlotAt(uint32_t position);
+  // Ring positions stay in [0, capacity_): a free-running uint32_t index with
+  // SlotAt(index % capacity) would jump slots when the counter wraps at 2^32
+  // with a non-power-of-two capacity ((2^32-1) % cap and 0 % cap are not
+  // adjacent), letting producers overwrite unread messages after ~4 billion
+  // sends. Wrapping each position at capacity keeps the sequence continuous
+  // forever and is address-free (shared-memory safe).
+  static uint32_t NextPosition(uint32_t position, uint32_t capacity);
   void Enqueue(const void* data, size_t len);
-  size_t Dequeue(void* buf, size_t buf_size);
+  size_t Dequeue(void* buf, size_t buf_size, size_t* full_len);
 
+ public:
+  // Test hook: plants head/tail as if the queue had already carried `count`
+  // messages (positions are normalized mod capacity). Only meaningful on an
+  // idle, empty queue; exists so the 2^32-wrap regression test can start the
+  // ring next to the boundary instead of performing four billion sends.
+  void TestOnlySetLogicalPositions(uint32_t count);
+
+ private:
   uint64_t magic_ = 0;
   uint32_t max_message_size_ = 0;
   uint32_t capacity_ = 0;
   sema_t free_slots_;
   sema_t queued_items_;
   mutex_t ring_lock_;
-  uint32_t head_ = 0;  // guarded by ring_lock_
+  uint32_t head_ = 0;  // ring position in [0, capacity_), guarded by ring_lock_
   uint32_t tail_ = 0;
   std::atomic<uint32_t> depth_{0};  // see Depth(); address-free, shared-safe
   // slots follow in the same allocation

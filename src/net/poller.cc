@@ -20,6 +20,7 @@
 #include "src/timer/timer.h"
 #include "src/util/check.h"
 #include "src/util/clock.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
 namespace {
@@ -57,6 +58,14 @@ struct NetTimeoutCtx {
   Tcb* tcb;
   bool writer;
 };
+
+// One ctx per _deadline wait: a 10k-connection server with idle timeouts arms
+// one of these per request, so the blocks come from a per-LWP magazine
+// (src/util/object_cache.h) and steady state never touches the heap.
+struct NetCtxTag {
+  static constexpr const char* kName = "net.timeout_ctx";
+};
+using NetCtxAlloc = CachedAlloc<NetTimeoutCtx, NetCtxTag>;
 
 // fork1() child repair: the poller thread (and every parked waiter) does not
 // exist in the child; abandon the parent's poller so the child lazily builds a
@@ -307,7 +316,7 @@ void NetTimeoutFire(void* cookie, uint64_t generation) {
   NetPoller::FdEntry* entry = ctx->entry;
   Tcb* tcb = ctx->tcb;
   bool writer = ctx->writer;
-  delete ctx;
+  NetCtxAlloc::Delete(ctx);
   Tcb* to_wake = nullptr;
   {
     SpinLockGuard guard(entry->lock);
@@ -380,7 +389,7 @@ int NetPoller::WaitReady(int fd, uint32_t events, int64_t timeout_ns) {
   NetTimeoutCtx* ctx = nullptr;
   uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
   if (timeout_ns > 0) {
-    ctx = new NetTimeoutCtx{entry, self, writer};
+    ctx = NetCtxAlloc::New(entry, self, writer);
     timer = timer_arm_callback(timeout_ns, &NetTimeoutFire, ctx, generation);
   }
   if (g_mode.load(std::memory_order_acquire) == Mode::kInline) {
@@ -395,7 +404,7 @@ int NetPoller::WaitReady(int fd, uint32_t events, int64_t timeout_ns) {
   }
   if (timer != kInvalidTimerId) {
     if (timer_cancel(timer) == 0) {
-      delete ctx;  // cancelled before firing: the callback will never free it
+      NetCtxAlloc::Delete(ctx);  // cancelled before firing: the fire never ran
     } else {
       // The cancel lost the race: the in-flight callback owns and frees ctx,
       // sees us gone from the queue — or a mismatched generation — and does

@@ -18,6 +18,7 @@
 #include "src/sync/waitq.h"
 #include "src/timer/timer.h"
 #include "src/util/futex.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
 namespace {
@@ -27,12 +28,19 @@ struct TimeoutCtx {
   Tcb* tcb;
 };
 
+// One ctx per timed wait; steady state must not touch the heap (the paper's
+// no-malloc-on-hot-paths rule), so the blocks come from a per-LWP magazine.
+struct CvCtxTag {
+  static constexpr const char* kName = "cv.timeout_ctx";
+};
+using CtxAlloc = CachedAlloc<TimeoutCtx, CvCtxTag>;
+
 // Runs on the timer engine thread when the timeout expires first.
 void CvTimeoutFire(void* cookie, uint64_t generation) {
   auto* ctx = static_cast<TimeoutCtx*>(cookie);
   condvar_t* cvp = ctx->cvp;
   Tcb* tcb = ctx->tcb;
-  delete ctx;
+  CtxAlloc::Delete(ctx);
   Tcb* to_wake = nullptr;
   {
     SpinLockGuard guard(cvp->qlock);
@@ -84,7 +92,7 @@ int cv_timedwait(condvar_t* cvp, mutex_t* mutexp, int64_t timeout_ns) {
   // Arm the timeout while still holding the qlock: the timer cannot fire on a
   // half-enqueued waiter because the fire path needs the qlock too.
   uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
-  auto* ctx = new TimeoutCtx{cvp, self};
+  auto* ctx = CtxAlloc::New(cvp, self);
   timer_id_t timer = timer_arm_callback(timeout_ns, &CvTimeoutFire, ctx, generation);
   mutex_exit(mutexp);
   if (lockdep::Enabled()) {
@@ -99,7 +107,7 @@ int cv_timedwait(condvar_t* cvp, mutex_t* mutexp, int64_t timeout_ns) {
   bool timed_out = self->timed_out;
   if (!timed_out) {
     if (timer_cancel(timer) == 0) {
-      delete ctx;  // cancelled before firing: the callback will never free it
+      CtxAlloc::Delete(ctx);  // cancelled before firing: the fire never ran
     } else {
       // The cancel lost the race: the fire owns ctx and will still lock our
       // qlock (finding us gone from the queue, it does not wake us). The caller

@@ -12,6 +12,7 @@
 #include "src/timer/timer.h"
 #include "src/util/clock.h"
 #include "src/util/futex.h"
+#include "src/util/object_cache.h"
 
 namespace sunmt {
 namespace {
@@ -21,11 +22,18 @@ struct SemaTimeoutCtx {
   Tcb* tcb;
 };
 
+// One ctx per timed wait; steady state must not touch the heap (the paper's
+// no-malloc-on-hot-paths rule), so the blocks come from a per-LWP magazine.
+struct SemaCtxTag {
+  static constexpr const char* kName = "sema.timeout_ctx";
+};
+using CtxAlloc = CachedAlloc<SemaTimeoutCtx, SemaCtxTag>;
+
 void SemaTimeoutFire(void* cookie, uint64_t generation) {
   auto* ctx = static_cast<SemaTimeoutCtx*>(cookie);
   sema_t* sp = ctx->sp;
   Tcb* tcb = ctx->tcb;
-  delete ctx;
+  CtxAlloc::Delete(ctx);
   Tcb* to_wake = nullptr;
   {
     SpinLockGuard guard(sp->qlock);
@@ -103,13 +111,13 @@ int sema_p_timed(sema_t* sp, int64_t timeout_ns) {
   WaitqPush(&sp->wait_head, &sp->wait_tail, self);  // advances block_generation
   uint64_t generation = self->block_generation;
   uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
-  auto* ctx = new SemaTimeoutCtx{sp, self};
+  auto* ctx = CtxAlloc::New(sp, self);
   timer_id_t timer = timer_arm_callback(timeout_ns, &SemaTimeoutFire, ctx, generation);
   sched::Block(&sp->qlock);  // releases qlock after the context save
   bool timed_out = self->timed_out;
   if (!timed_out) {
     if (timer_cancel(timer) == 0) {
-      delete ctx;
+      CtxAlloc::Delete(ctx);
     } else {
       // The fire owns ctx and will still lock our qlock before discovering it
       // is stale; don't let the caller destroy the semaphore under it.

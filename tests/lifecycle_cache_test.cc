@@ -370,9 +370,13 @@ TEST(MutexOwnerAware, AdaptiveBlockHistogramIsKeyed) {
 
 // ---- Introspection -----------------------------------------------------------
 
-TEST(Introspect, StackCacheCountersLine) {
+TEST(Introspect, ObjectCacheCountersLines) {
   std::string state = FormatProcessState();
-  EXPECT_NE(state.find("STACKCACHE hits="), std::string::npos);
+  EXPECT_NE(state.find("OBJCACHE caches="), std::string::npos);
+  EXPECT_NE(state.find("fallback_allocs="), std::string::npos);
+  // The stack cache is one of the registered caches (threads have certainly
+  // been created by the time this test runs) and prints its own per-cache line.
+  EXPECT_NE(state.find("stack"), std::string::npos);
   EXPECT_NE(state.find("depot="), std::string::npos);
 }
 

@@ -60,13 +60,60 @@ TEST(MessageQueue, RejectsOversizedMessages) {
   EXPECT_FALSE(q->SendTimed(big, sizeof(big), 1000));
 }
 
-TEST(MessageQueue, TruncatingRecvStillReportsFullLength) {
+// A short-buffer Recv must return the bytes it actually copied (never more
+// than the buffer can hold — the old contract returned the full message
+// length, inviting callers to overread their own buffer) and surface the
+// sender's original length through the out-parameter.
+TEST(MessageQueue, TruncatingRecvReturnsCopiedAndExposesFullLength) {
   MessageQueue* q = MakeLocalQueue(32, 2);
   const char msg[] = "0123456789";
   ASSERT_TRUE(q->Send(msg, 10));
   char tiny[4] = {};
-  EXPECT_EQ(q->Recv(tiny, sizeof(tiny)), 10u);
+  size_t full_len = 0;
+  EXPECT_EQ(q->Recv(tiny, sizeof(tiny), &full_len), sizeof(tiny));
+  EXPECT_EQ(full_len, 10u);
   EXPECT_EQ(memcmp(tiny, "0123", 4), 0);
+  // An exact-fit receive copies everything and reports the same length twice.
+  ASSERT_TRUE(q->Send(msg, 10));
+  char big[16] = {};
+  EXPECT_EQ(q->Recv(big, sizeof(big), &full_len), 10u);
+  EXPECT_EQ(full_len, 10u);
+}
+
+// Regression: ring indices used to be free-running uint32_t with
+// SlotAt(index % capacity). At the 2^32 wrap with a non-power-of-two capacity
+// the modulo sequence jumps ((2^32-1) % 3 == 0 is followed by 0 % 3 == 0), so
+// a producer would overwrite an unread slot and a consumer would replay
+// another. Positions now wrap at capacity; this starts the ring as if ~2^32
+// messages had already passed through and walks it across the old boundary.
+TEST(MessageQueue, IndexWrapNearUint32MaxKeepsFifoIntact) {
+  constexpr uint32_t kCapacity = 3;  // non-power-of-two: 2^32 % 3 != 0
+  MessageQueue* q = MakeLocalQueue(16, kCapacity);
+  q->TestOnlySetLogicalPositions(UINT32_MAX - 1);
+  // Fill the ring, then stream across the historical wrap point with the
+  // queue kept full — exactly the state where the old arithmetic clobbered
+  // unread slots.
+  uint64_t next_send = 0;
+  uint64_t next_recv = 0;
+  for (; next_send < kCapacity; ++next_send) {
+    ASSERT_TRUE(q->Send(&next_send, sizeof(next_send)));
+  }
+  for (int step = 0; step < 64; ++step) {
+    uint64_t got = ~0ull;
+    ASSERT_EQ(q->Recv(&got, sizeof(got)), sizeof(got));
+    EXPECT_EQ(got, next_recv) << "FIFO order broke at step " << step;
+    ++next_recv;
+    ASSERT_TRUE(q->Send(&next_send, sizeof(next_send)));
+    ++next_send;
+  }
+  // Drain and verify the tail survived untouched.
+  while (next_recv < next_send) {
+    uint64_t got = ~0ull;
+    ASSERT_EQ(q->Recv(&got, sizeof(got)), sizeof(got));
+    EXPECT_EQ(got, next_recv);
+    ++next_recv;
+  }
+  EXPECT_EQ(q->Depth(), 0u);
 }
 
 TEST(MessageQueue, TryOpsReflectFullAndEmpty) {
