@@ -37,12 +37,14 @@ prev_scale="$(mktemp)"
 prev_mutex="$(mktemp)"
 prev_http="$(mktemp)"
 prev_timer="$(mktemp)"
-trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex" "$prev_http" "$prev_timer"' EXIT
+prev_echo="$(mktemp)"
+trap 'rm -f "$prev_micro" "$prev_scale" "$prev_mutex" "$prev_http" "$prev_timer" "$prev_echo"' EXIT
 cp "$repo/BENCH_abl_microtask.json" "$prev_micro" 2>/dev/null || true
 cp "$repo/BENCH_abl_thread_scale.json" "$prev_scale" 2>/dev/null || true
 cp "$repo/BENCH_abl_mutex_variants.json" "$prev_mutex" 2>/dev/null || true
 cp "$repo/BENCH_abl_http_load.json" "$prev_http" 2>/dev/null || true
 cp "$repo/BENCH_abl_timer_churn.json" "$prev_timer" 2>/dev/null || true
+cp "$repo/BENCH_abl_net_echo.json" "$prev_echo" 2>/dev/null || true
 
 failed=0
 for bin in "${benches[@]}"; do
@@ -160,6 +162,55 @@ for key in ("c1k_reqs_per_s", "c10k_reqs_per_s"):
 if bad:
     sys.exit("http reqs/s regressed beyond 10% + noise floor")
 print("  http throughput within bounds")
+PY
+fi
+
+# ---- Net echo throughput gate ------------------------------------------------
+# The echo ablation carries the netpoller's raw numbers across both engines;
+# fail if the epoll reqs/s regresses more than 10% + the measured noise floor
+# against the recorded baseline, or if the uring completion engine falls more
+# than 10% + noise behind epoll within the same runs (the completion engine
+# must not cost throughput; uring keys are absent — and the engine comparison
+# skipped — on kernels without io_uring). Best-of-2, same construction as the
+# http gate.
+echob="$build/bench/abl_net_echo"
+if [[ -s "$prev_echo" && -s "$repo/BENCH_abl_net_echo.json" && -x "$echob" && $failed -eq 0 ]]; then
+  echo "== net echo throughput (best-of-2 reqs/s vs recorded baseline) =="
+  out2="$("$echob" "$@" 2>&1)" || { echo "$out2"; exit 1; }
+  rerun="$(printf '%s\n' "$out2" | grep -E '^BENCH_abl_net_echo\.json ' | tail -1)"
+  python3 - "$prev_echo" "$repo/BENCH_abl_net_echo.json" <<PY || failed=1
+import json, sys
+prev = json.load(open(sys.argv[1]))["metrics"]
+run1 = json.load(open(sys.argv[2]))["metrics"]
+run2 = json.loads("""${rerun#BENCH_abl_net_echo.json }""")["metrics"]
+key = "poller_reqs_per_s"
+if key not in prev or key not in run1 or key not in run2:
+    print(f"  {key} missing from baseline or fresh runs; skipping gate")
+    sys.exit(0)
+bad = False
+best_e = max(run1[key], run2[key])
+noise_e = best_e / min(run1[key], run2[key]) - 1
+allowed = 0.10 + noise_e
+delta = best_e / prev[key] - 1
+print(f"  {key}: {prev[key]:.0f} -> {best_e:.0f} best-of-2 "
+      f"({delta:+.2%}, noise floor {noise_e:.2%}, allowed -{allowed:.2%})")
+if delta < -allowed:
+    bad = True
+ukey = "uring_reqs_per_s"
+if ukey in run1 and ukey in run2:
+    best_u = max(run1[ukey], run2[ukey])
+    noise_u = best_u / min(run1[ukey], run2[ukey]) - 1
+    allowed_u = 0.10 + noise_e + noise_u
+    ratio = best_u / best_e - 1
+    print(f"  uring vs epoll: {best_u:.0f} vs {best_e:.0f} best-of-2 "
+          f"({ratio:+.2%}, noise floor {noise_e + noise_u:.2%}, allowed -{allowed_u:.2%})")
+    if ratio < -allowed_u:
+        bad = True
+else:
+    print("  uring keys absent (kernel lacks io_uring); engine comparison skipped")
+if bad:
+    sys.exit("net echo reqs/s out of bounds")
+print("  net echo throughput within bounds")
 PY
 fi
 

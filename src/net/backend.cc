@@ -1,0 +1,145 @@
+// Engine selection and shared glue: reads SUNMT_NET_BACKEND once at first
+// use, probes io_uring when asked for, and owns the scheduler idle-poll hook
+// (installed once, dispatching to whichever engine is live — the hook used to
+// be wired directly to NetPoller, which would leave the uring engine's inline
+// mode without an idle path).
+
+#include "src/net/backend.h"
+
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+
+#include <atomic>
+#include <new>
+
+#include "src/core/runtime.h"
+#include "src/core/scheduler.h"
+#include "src/net/poller.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+namespace {
+
+std::atomic<NetBackend*> g_backend{nullptr};
+SpinLock g_backend_lock;
+
+// fork1() child repair: the active engine's threads (reaper/poller) and ring
+// state belong to the parent — and the engine singletons run their own repair,
+// so a stale g_backend here would dispatch the child into an abandoned
+// instance (sharing its io_uring CQ with the parent's reaper). Drop the
+// selection; the child's first net op re-selects and re-probes fresh.
+void BackendForkChildRepair() {
+  g_backend.store(nullptr, std::memory_order_release);
+  new (&g_backend_lock) SpinLock();
+}
+
+void EnsureForkHandler() {
+  static std::atomic<bool> once{false};
+  if (!once.exchange(true, std::memory_order_acq_rel)) {
+    Runtime::RegisterForkChildHandler(&BackendForkChildRepair);
+  }
+}
+
+// Worst-case inline-mode wake latency; both engines use the same period so
+// the scheduler's shallow-park cadence does not depend on the engine.
+constexpr int64_t kIdlePollPeriodNs = 1 * 1000 * 1000;
+
+int IdlePollDispatch() {
+  NetBackend* backend = g_backend.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    return -1;  // no engine yet: deep-park is fine
+  }
+  return backend->PollInline();
+}
+
+void EnsureIdleHook() {
+  static std::atomic<bool> once{false};
+  if (!once.exchange(true, std::memory_order_acq_rel)) {
+    sched::SetIdlePollHook(&IdlePollDispatch, kIdlePollPeriodNs);
+  }
+}
+
+// Resolves the configured engine. "uring" degrades to epoll when the kernel
+// cannot run it — same binary, zero configuration, which is the fallback
+// matrix docs/internals.md documents.
+NetBackend* SelectFromEnv() {
+  const char* name = getenv("SUNMT_NET_BACKEND");
+  if (name != nullptr && strcmp(name, "uring") == 0) {
+    NetBackend* uring = NetUringBackendGet();
+    if (uring != nullptr) {
+      return uring;
+    }
+  }
+  return NetEpollBackendGet();
+}
+
+}  // namespace
+
+NetBackend& net_backend() {
+  NetBackend* backend = g_backend.load(std::memory_order_acquire);
+  if (backend != nullptr) {
+    return *backend;
+  }
+  SpinLockGuard guard(g_backend_lock);
+  backend = g_backend.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    backend = SelectFromEnv();
+    EnsureIdleHook();
+    EnsureForkHandler();
+    g_backend.store(backend, std::memory_order_release);
+  }
+  return *backend;
+}
+
+bool net_backend_exists() {
+  return g_backend.load(std::memory_order_acquire) != nullptr;
+}
+
+const char* net_backend_name() { return net_backend().Name(); }
+
+bool net_uring_supported() { return NetUringBackendGet() != nullptr; }
+
+int net_backend_select(const char* name) {
+  NetBackend* target = nullptr;
+  if (name != nullptr && strcmp(name, "epoll") == 0) {
+    target = NetEpollBackendGet();
+  } else if (name != nullptr && strcmp(name, "uring") == 0) {
+    target = NetUringBackendGet();
+    if (target == nullptr) {
+      errno = ENOSYS;
+      return -1;
+    }
+  } else {
+    errno = EINVAL;
+    return -1;
+  }
+  SpinLockGuard guard(g_backend_lock);
+  NetBackend* current = g_backend.load(std::memory_order_acquire);
+  if (current != nullptr && current != target) {
+    // Registered fds and parked waiters live inside one engine; switching
+    // under them would strand both. Quiescent means: dedicated loop stopped,
+    // nothing registered, nobody parked.
+    NetBackendStats stats;
+    current->Snapshot(&stats);
+    if (current->Running() || stats.registered > 0 || stats.parked > 0) {
+      errno = EBUSY;
+      return -1;
+    }
+  }
+  EnsureIdleHook();
+  EnsureForkHandler();
+  g_backend.store(target, std::memory_order_release);
+  return 0;
+}
+
+bool net_backend_snapshot(NetBackendStats* out) {
+  NetBackend* backend = g_backend.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    return false;
+  }
+  backend->Snapshot(out);
+  return true;
+}
+
+}  // namespace sunmt

@@ -1,0 +1,279 @@
+// The readiness engine: PR 2's epoll machinery (NetPoller) plus the
+// nonblocking-syscall + park-on-EAGAIN retry loops that used to live in
+// net.cc. Model: a thread that hits EAGAIN parks until the poller latches a
+// readiness edge for the fd, then retries the syscall itself — so every
+// operation costs at least one syscall on the calling thread, and the poller
+// only ever moves *readiness*, never data.
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/inject/inject.h"
+#include "src/net/backend.h"
+#include "src/net/net.h"
+#include "src/net/net_internal.h"
+#include "src/net/poller.h"
+
+namespace sunmt {
+namespace {
+
+using net_internal::Deadline;
+using net_internal::NetResult;
+using net_internal::WouldBlock;
+using net_internal::WriteNoSigpipe;
+using net_internal::WritevNoSigpipe;
+
+// Whether an injected EAGAIN is allowed to stand. The poller's wakeups are
+// edge-triggered: WaitReady may only be entered after a *real* EAGAIN, because
+// readiness that arrived earlier has already had its edge latched and consumed.
+// Faking an EAGAIN while the fd is ready would park on an edge that never
+// comes — a state real execution cannot reach (a true EAGAIN means the fd was
+// drained, so any later readiness fires a fresh edge). So the fault only
+// stands on a genuinely not-ready fd; otherwise it decays to a no-op and the
+// caller performs the real syscall.
+bool InjectedEagainHolds(int fd, short events) {
+  struct pollfd p = {fd, events, 0};
+  return poll(&p, 1, 0) == 0;
+}
+
+class EpollBackend : public NetBackend {
+ public:
+  const char* Name() const override { return "epoll"; }
+
+  int StartDedicated() override { return NetPoller::Get().StartDedicated(); }
+
+  int Stop() override {
+    if (!NetPoller::Exists()) {
+      return 0;
+    }
+    return NetPoller::Get().Stop();
+  }
+
+  bool Running() const override {
+    return NetPoller::Exists() && NetPoller::Get().Running();
+  }
+
+  int Register(int fd) override { return NetPoller::Get().Register(fd); }
+
+  int Unregister(int fd) override {
+    if (!NetPoller::Exists()) {
+      errno = EBADF;
+      return -1;
+    }
+    return NetPoller::Get().Unregister(fd);
+  }
+
+  bool IsRegistered(int fd) const override {
+    return NetPoller::Exists() && NetPoller::Get().IsRegistered(fd);
+  }
+
+  int ParkedCount() const override {
+    return NetPoller::Exists() ? NetPoller::Get().ParkedCount() : 0;
+  }
+
+  ssize_t Read(int fd, void* buf, size_t count, int64_t timeout_ns) override {
+    NetPoller& poller = NetPoller::Get();
+    Deadline deadline(timeout_ns);
+    count = inject::ShortTransfer(inject::kNetSyscall, count);
+    for (;;) {
+      // Injected not-ready: skip the syscall and take the WaitReady path, as
+      // if the data arrived just after an EAGAIN — races the deadline against
+      // the park/wake machinery. (Not with timeout 0: a nonblocking try must
+      // report the fd's true state. Not on a ready fd: see InjectedEagainHolds.)
+      if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+          !InjectedEagainHolds(fd, POLLIN)) {
+        ssize_t n = read(fd, buf, count);
+        if (n >= 0) {
+          return NetResult(n, 0);
+        }
+        if (!WouldBlock(errno)) {
+          return NetResult<ssize_t>(-1, errno);
+        }
+      }
+      if (inject::Fault(inject::kNetWaitReady)) {
+        continue;  // injected spurious readiness: retry the syscall
+      }
+      int rc = poller.WaitReady(fd, NET_READABLE, deadline.Remaining());
+      if (rc == ETIME && timeout_ns == 0) {
+        rc = EAGAIN;  // a nonblocking try reports like the raw syscall
+      }
+      if (rc != 0) {
+        return NetResult<ssize_t>(-1, rc);
+      }
+    }
+  }
+
+  ssize_t Write(int fd, const void* buf, size_t count,
+                int64_t timeout_ns) override {
+    NetPoller& poller = NetPoller::Get();
+    Deadline deadline(timeout_ns);
+    count = inject::ShortTransfer(inject::kNetSyscall, count);
+    for (;;) {
+      if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+          !InjectedEagainHolds(fd, POLLOUT)) {
+        ssize_t n = WriteNoSigpipe(fd, buf, count);
+        if (n >= 0) {
+          return NetResult(n, 0);
+        }
+        if (!WouldBlock(errno)) {
+          return NetResult<ssize_t>(-1, errno);
+        }
+      }
+      if (inject::Fault(inject::kNetWaitReady)) {
+        continue;
+      }
+      int rc = poller.WaitReady(fd, NET_WRITABLE, deadline.Remaining());
+      if (rc == ETIME && timeout_ns == 0) {
+        rc = EAGAIN;
+      }
+      if (rc != 0) {
+        return NetResult<ssize_t>(-1, rc);
+      }
+    }
+  }
+
+  ssize_t Writev(int fd, const struct iovec* iov, int iovcnt,
+                 int64_t timeout_ns) override {
+    // Local copy: continuation after a partial writev advances iov_base/
+    // iov_len of the first incomplete entry, which must not scribble on the
+    // caller's (possibly const, possibly reused) array.
+    struct iovec local[NET_IOV_MAX];
+    size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      local[i] = iov[i];
+      total += iov[i].iov_len;
+    }
+    if (total == 0) {
+      return NetResult<ssize_t>(0, 0);
+    }
+    NetPoller& poller = NetPoller::Get();
+    Deadline deadline(timeout_ns);
+    int idx = 0;
+    for (;;) {
+      while (idx < iovcnt && local[idx].iov_len == 0) {
+        ++idx;
+      }
+      if (idx == iovcnt) {
+        return NetResult<ssize_t>(static_cast<ssize_t>(total), 0);
+      }
+      if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+          !InjectedEagainHolds(fd, POLLOUT)) {
+        // Injected short transfer: clamp this attempt to a prefix of the
+        // first pending entry, exercising the mid-entry continuation below.
+        size_t clamped =
+            inject::ShortTransfer(inject::kNetSyscall, local[idx].iov_len);
+        ssize_t n = clamped < local[idx].iov_len
+                        ? WriteNoSigpipe(fd, local[idx].iov_base, clamped)
+                        : WritevNoSigpipe(fd, &local[idx], iovcnt - idx);
+        if (n > 0) {
+          size_t adv = static_cast<size_t>(n);
+          while (adv > 0 && idx < iovcnt) {
+            if (adv >= local[idx].iov_len) {
+              adv -= local[idx].iov_len;
+              local[idx].iov_len = 0;
+              ++idx;
+            } else {
+              local[idx].iov_base =
+                  static_cast<char*>(local[idx].iov_base) + adv;
+              local[idx].iov_len -= adv;
+              adv = 0;
+            }
+          }
+          continue;  // partial write: the fd may still be writable, retry first
+        }
+        if (n < 0 && !WouldBlock(errno)) {
+          return NetResult<ssize_t>(-1, errno);
+        }
+      }
+      if (inject::Fault(inject::kNetWaitReady)) {
+        continue;
+      }
+      int rc = poller.WaitReady(fd, NET_WRITABLE, deadline.Remaining());
+      if (rc == ETIME && timeout_ns == 0) {
+        rc = EAGAIN;
+      }
+      if (rc != 0) {
+        return NetResult<ssize_t>(-1, rc);
+      }
+    }
+  }
+
+  int Accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+             int64_t timeout_ns) override {
+    NetPoller& poller = NetPoller::Get();
+    Deadline deadline(timeout_ns);
+    for (;;) {
+      if (timeout_ns == 0 || !inject::Fault(inject::kNetSyscall) ||
+          !InjectedEagainHolds(sockfd, POLLIN)) {
+        int fd = accept(sockfd, addr, addrlen);
+        if (fd >= 0) {
+          return NetResult(fd, 0);
+        }
+        if (!WouldBlock(errno)) {
+          return NetResult(-1, errno);
+        }
+      }
+      if (inject::Fault(inject::kNetWaitReady)) {
+        continue;
+      }
+      int rc = poller.WaitReady(sockfd, NET_READABLE, deadline.Remaining());
+      if (rc == ETIME && timeout_ns == 0) {
+        rc = EAGAIN;
+      }
+      if (rc != 0) {
+        return NetResult(-1, rc);
+      }
+    }
+  }
+
+  int Connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen,
+              int64_t timeout_ns) override {
+    if (connect(sockfd, addr, addrlen) == 0) {
+      return NetResult(0, 0);
+    }
+    if (errno == EINTR || errno == EINPROGRESS) {
+      // Nonblocking connect in flight: writability signals completion, and
+      // the verdict is read out of SO_ERROR (connect(2), EINPROGRESS).
+      int rc = NetPoller::Get().WaitReady(sockfd, NET_WRITABLE, timeout_ns);
+      if (rc != 0) {
+        return NetResult(-1, rc);
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (getsockopt(sockfd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        return NetResult(-1, errno);
+      }
+      return NetResult(so_error == 0 ? 0 : -1, so_error);
+    }
+    return NetResult(-1, errno);
+  }
+
+  int WaitReady(int fd, uint32_t events, int64_t timeout_ns) override {
+    if (!NetPoller::Exists()) {
+      return EBADF;
+    }
+    return NetPoller::Get().WaitReady(fd, events, timeout_ns);
+  }
+
+  int PollInline() override { return NetPoller::IdlePollHook(); }
+
+  void Snapshot(NetBackendStats* out) const override {
+    *out = NetBackendStats{};
+    out->name = Name();
+    if (NetPoller::Exists()) {
+      out->registered = NetPoller::Get().RegisteredCount();
+      out->parked = NetPoller::Get().ParkedCount();
+    }
+  }
+};
+
+}  // namespace
+
+NetBackend* NetEpollBackendGet() {
+  static EpollBackend* backend = new EpollBackend();  // leaked like the poller
+  return backend;
+}
+
+}  // namespace sunmt

@@ -1,0 +1,85 @@
+// Helpers shared by the netpoller engines (src/net internal): the
+// thread_errno() funnel, the multi-park deadline budget, and the MSG_NOSIGNAL
+// write shims. Both engines must agree on these semantics exactly — they are
+// the observable contract of net.h, and the parameterized net/http test runs
+// hold each engine to it.
+
+#ifndef SUNMT_SRC_NET_NET_INTERNAL_H_
+#define SUNMT_SRC_NET_NET_INTERNAL_H_
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "src/io/io.h"
+#include "src/util/clock.h"
+
+namespace sunmt {
+namespace net_internal {
+
+// Success/failure funnel shared by all wrappers: errors land in
+// thread_errno(), which is additionally cleared to 0 on success.
+template <typename T>
+T NetResult(T result, int err) {
+  thread_errno() = err;
+  if (err != 0) {
+    return static_cast<T>(-1);
+  }
+  return result;
+}
+
+inline bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+// Remaining budget for multi-park operations: each re-park (e.g. after a
+// concurrent consumer stole the readiness, or a partial writev) must not
+// restart the clock. Forever (<0) and nonblocking-try (0) pass through.
+struct Deadline {
+  explicit Deadline(int64_t timeout_ns)
+      : timeout_ns_(timeout_ns),
+        start_ns_(timeout_ns > 0 ? MonotonicNowNs() : 0) {}
+
+  int64_t Remaining() const {
+    if (timeout_ns_ <= 0) {
+      return timeout_ns_;
+    }
+    int64_t left = timeout_ns_ - (MonotonicNowNs() - start_ns_);
+    // A fully consumed deadline must not turn into "wait forever" or a
+    // nonblocking try that reports EAGAIN; 1ns parks and times out as ETIME.
+    return left > 0 ? left : 1;
+  }
+
+  int64_t timeout_ns_;
+  int64_t start_ns_;
+};
+
+// write(2)/writev(2) on a peer-closed socket raise SIGPIPE, which would kill
+// the whole process out from under every other connection (first hit by the
+// HTTP server, where clients hang up whenever they like). MSG_NOSIGNAL turns
+// that into a plain EPIPE; non-socket fds fall back to the raw syscalls.
+inline ssize_t WriteNoSigpipe(int fd, const void* buf, size_t count) {
+  ssize_t n = send(fd, buf, count, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) {
+    n = write(fd, buf, count);
+  }
+  return n;
+}
+
+inline ssize_t WritevNoSigpipe(int fd, const struct iovec* iov, int iovcnt) {
+  struct msghdr msg = {};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  ssize_t n = sendmsg(fd, &msg, MSG_NOSIGNAL);
+  if (n < 0 && errno == ENOTSOCK) {
+    n = writev(fd, iov, iovcnt);
+  }
+  return n;
+}
+
+}  // namespace net_internal
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_NET_NET_INTERNAL_H_

@@ -114,7 +114,8 @@ NetPoller::NetPoller() {
   ev.events = EPOLLIN;
   ev.data.fd = wakeup_fd_;
   SUNMT_CHECK(epoll_ctl(epfd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) == 0);
-  sched::SetIdlePollHook(&NetPoller::IdlePollHook, kInlinePollPeriodNs);
+  // The scheduler idle-poll hook is owned by the backend layer (backend.cc),
+  // which dispatches to whichever engine is live.
 }
 
 NetPoller::FdEntry* NetPoller::GetEntry(int fd) const {

@@ -71,6 +71,11 @@ class NetPoller {
   // Threads currently parked on readiness (tests/introspection).
   int ParkedCount() const { return parked_count_.load(std::memory_order_relaxed); }
 
+  // Fds currently registered (introspection via NetBackend::Snapshot).
+  int RegisteredCount() const {
+    return registered_count_.load(std::memory_order_relaxed);
+  }
+
   // ---- Inline fallback ------------------------------------------------------
   // One nonblocking epoll_wait + dispatch, used by the scheduler's idle path
   // and the anti-starvation timer tick when no dedicated LWP is configured.

@@ -1,0 +1,1111 @@
+// The completion engine: io_uring-backed netpoller backend.
+//
+// Where the epoll engine parks a thread until the fd is *ready* and retries
+// the syscall itself, this engine submits the *operation* — OP_READ, OP_SEND,
+// OP_ACCEPT, OP_CONNECT, OP_POLL_ADD — as an SQE and parks the thread until
+// the CQE arrives carrying the final result. A ready op is still served by
+// one nonblocking try first (a send into a non-full buffer or a read with
+// data waiting needs no ring round-trip — that fast path is identical to
+// epoll's and is why the two engines benchmark head-to-head); the ring takes
+// over exactly when the op *would block*, and from there the completion
+// model pays for itself: the woken thread returns the CQE's result directly,
+// with no post-wake retry syscall and no readiness race. In dedicated mode
+// the only syscall a parking submitter makes is a deduplicated eventfd kick,
+// and the reaper's one io_uring_enter(2) flushes every SQE queued since the
+// last one (batch depth recorded as net.uring_sqe_batch).
+//
+// Registered fds stay O_NONBLOCK exactly like the epoll engine (uniform
+// net_register semantics; the try-first fast path depends on it); modern
+// kernels do not surface -EAGAIN for uring ops on such sockets — they arm an
+// internal poll and complete when data moves — so the park is one-shot in the
+// common case, with a defensive resubmit if -EAGAIN ever appears.
+//
+// Deadlines reuse the PR 4 protocol with the op as the wait queue: the timer
+// fire validates Tcb::block_generation under the op lock, then — instead of
+// dequeueing the waiter — submits IORING_OP_ASYNC_CANCEL and lets the op's
+// own -ECANCELED CQE deliver the wake. The waiter therefore NEVER returns
+// while the kernel might still write into its buffer: ETIME is just the
+// deadline-cancelled completion, mapped at the end. A fire that lost the race
+// acks through Tcb::timeout_fire_seq exactly like the epoll engine, and the
+// waiter holds the op until that ack (plus the cancel CQE's reference) so the
+// object-cache block is never recycled under an in-flight reference.
+//
+// Op contexts come from a per-LWP object cache (steady state zero-alloc).
+// Shutdown sweeps with ASYNC_CANCEL_ANY: every in-flight op completes
+// -ECANCELED and every waiter returns ECANCELED, mirroring the epoll sweep.
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <new>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/core/scheduler.h"
+#include "src/core/thread.h"
+#include "src/core/trace.h"
+#include "src/inject/inject.h"
+#include "src/lwp/kernel_wait.h"
+#include "src/net/backend.h"
+#include "src/net/net.h"
+#include "src/net/net_internal.h"
+#include "src/net/uring_shim.h"
+#include "src/stats/stats.h"
+#include "src/sync/waitq.h"
+#include "src/timer/timer.h"
+#include "src/util/check.h"
+#include "src/util/object_cache.h"
+#include "src/util/spinlock.h"
+
+namespace sunmt {
+namespace {
+
+using net_internal::Deadline;
+using net_internal::NetResult;
+using net_internal::WouldBlock;
+using net_internal::WriteNoSigpipe;
+using net_internal::WritevNoSigpipe;
+
+// Same lifecycle states as the epoll engine's g_mode, per engine instance.
+enum class Mode : uint8_t {
+  kInline,     // no reaper: appenders flush, idle LWPs + a timer tick drain
+  kDedicated,  // bound reaper thread blocks in io_uring_enter(GETEVENTS)
+  kStopped,    // net_poller_stop(): in-flight and new ops fail ECANCELED
+};
+
+enum : uint8_t {
+  kCancelNone = 0,
+  kCancelDeadline = 1,  // -ECANCELED came from a deadline fire: report ETIME
+};
+
+// One in-flight operation; doubles as the (single-entry) wait queue its
+// submitter parks on, guarded by `lock` per the switch-then-commit protocol.
+// Reference counts: 1 for the waiter, +1 once the SQE is in the ring (dropped
+// by the CQE), +1 per ASYNC_CANCEL targeting it (dropped by the cancel CQE) —
+// the kernel matches cancels by user_data VALUE, so the op's address must not
+// be recycled into a new op while a stale cancel could still match it.
+struct UringOp {
+  SpinLock lock;
+  Tcb* owner = nullptr;   // submitting thread, stable for the op's lifetime
+  Tcb* waiter = nullptr;  // non-null only while parked
+  bool done = false;
+  uint8_t cancel_reason = kCancelNone;
+  int32_t res = 0;
+  std::atomic<uint32_t> refs{1};
+};
+
+struct UringOpTag {
+  static constexpr const char* kName = "net.uring_op";
+};
+using OpAlloc = CachedAlloc<UringOp, UringOpTag>;
+
+// user_data tags (UringOp is word-aligned, low bits are free).
+constexpr uint64_t kTagMask = 3;
+constexpr uint64_t kTagOp = 0;      // payload: UringOp*
+constexpr uint64_t kTagCancel = 1;  // payload: UringOp* (drop the cancel ref)
+constexpr uint64_t kUdKick = 2;     // the eventfd POLL_ADD
+constexpr uint64_t kUdIgnore = 6;   // cancel-by-fd / cancel-any completions
+
+constexpr int64_t kInlinePollPeriodNs = 1 * 1000 * 1000;
+
+constexpr unsigned kSqEntries = 4096;
+constexpr unsigned kCqEntries = 16384;  // bursty c10k completions; NODROP backs
+constexpr unsigned kFixedSlots = 4096;  // registered-files table size
+
+class UringBackend;
+std::atomic<UringBackend*> g_uring{nullptr};
+std::atomic<bool> g_uring_probed{false};
+SpinLock g_uring_create_lock;
+
+// fork1() child repair: reaper thread and parked waiters do not exist in the
+// child; abandon the parent's ring (fds leak, the safe direction) and let the
+// child probe a fresh one lazily.
+void UringForkChildRepair() {
+  g_uring.store(nullptr, std::memory_order_release);
+  g_uring_probed.store(false, std::memory_order_release);
+  new (&g_uring_create_lock) SpinLock();
+}
+
+void EnsureForkHandler() {
+  static std::atomic<bool> once{false};
+  if (!once.exchange(true, std::memory_order_acq_rel)) {
+    Runtime::RegisterForkChildHandler(&UringForkChildRepair);
+  }
+}
+
+class UringBackend : public NetBackend {
+ public:
+  static UringBackend* Create() {
+    auto* backend = new UringBackend();
+    if (!backend->ring_.Init(kSqEntries, kCqEntries)) {
+      delete backend;
+      return nullptr;
+    }
+    backend->kick_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (backend->kick_fd_ < 0) {
+      backend->ring_.Destroy();
+      delete backend;
+      return nullptr;
+    }
+    backend->InitFixedFiles();
+    return backend;
+  }
+
+  const char* Name() const override { return "uring"; }
+
+  // ---- Lifecycle ------------------------------------------------------------
+
+  int StartDedicated() override {
+    SpinLockGuard guard(lifecycle_lock_);
+    if (dedicated_running_.load(std::memory_order_acquire)) {
+      return 0;
+    }
+    stopping_.store(false, std::memory_order_release);
+    mode_.store(Mode::kDedicated, std::memory_order_release);
+    // Arm the kick eventfd's poll before the reaper can block; the reaper's
+    // first enter flushes it together with anything already pending.
+    AppendKickPoll();
+    thread_id_t id = thread_create(nullptr, 0, &UringBackend::ReaperMain, this,
+                                   THREAD_BIND_LWP | THREAD_WAIT);
+    if (id == kInvalidThreadId) {
+      mode_.store(Mode::kInline, std::memory_order_release);
+      errno = EAGAIN;
+      return -1;
+    }
+    reaper_thread_ = id;
+    dedicated_running_.store(true, std::memory_order_release);
+    return 0;
+  }
+
+  int Stop() override {
+    SpinLockGuard guard(lifecycle_lock_);
+    mode_.store(Mode::kStopped, std::memory_order_release);
+    if (dedicated_running_.load(std::memory_order_acquire)) {
+      stopping_.store(true, std::memory_order_release);
+      // Unconditional kick (no dedup): the deduped flag may be mid-handoff,
+      // and the reaper re-checks stopping_ at its loop top either way.
+      uint64_t one = 1;
+      (void)!write(kick_fd_, &one, sizeof(one));
+      thread_wait(reaper_thread_);
+      dedicated_running_.store(false, std::memory_order_release);
+      reaper_thread_ = 0;
+    }
+    // Sweep: one ASYNC_CANCEL_ANY completes every in-flight op -ECANCELED.
+    // Appends racing with the mode flip serialize on sq_lock_: an SQE that got
+    // in before the cancel-any is ahead of it in the FIFO (and is cancelled);
+    // a later append observes kStopped and aborts.
+    AppendCancelAll(-1, /*fixed=*/false);
+    while (in_flight_.load(std::memory_order_acquire) > 0) {
+      if (DrainCompletions() == 0) {
+        KernelWaitScope wait(/*indefinite=*/false);
+        (void)uring::Enter(ring_.fd, 0, 1, IORING_ENTER_GETEVENTS);
+      }
+    }
+    return 0;
+  }
+
+  bool Running() const override {
+    Mode mode = mode_.load(std::memory_order_acquire);
+    if (mode == Mode::kStopped) {
+      return false;
+    }
+    if (mode == Mode::kDedicated) {
+      return dedicated_running_.load(std::memory_order_acquire);
+    }
+    return registered_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // ---- Registration ---------------------------------------------------------
+
+  int Register(int fd) override {
+    if (fd < 0 || fd >= kMaxFds) {
+      errno = EBADF;
+      return -1;
+    }
+    // Mirror epoll's pollability rule so both engines reject the same fds:
+    // regular files and directories "complete" instantly and would turn every
+    // park into a busy loop elsewhere; callers use plain io_read for them.
+    struct stat st;
+    if (fstat(fd, &st) != 0) {
+      return -1;
+    }
+    if (S_ISREG(st.st_mode) || S_ISDIR(st.st_mode)) {
+      errno = EPERM;
+      return -1;
+    }
+    int flags = fcntl(fd, F_GETFL);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      return -1;
+    }
+    if (TestAndSetBit(reg_bits_, fd)) {
+      return 0;  // idempotent
+    }
+    registered_count_.fetch_add(1, std::memory_order_relaxed);
+    if (fixed_files_ && fd < static_cast<int>(kFixedSlots)) {
+      // Flag-gated fast path: slot == fd (identity), so SQE prep just tags
+      // IOSQE_FIXED_FILE and skips the per-op fdget/fdput in the kernel.
+      struct io_uring_files_update upd = {};
+      upd.offset = static_cast<unsigned>(fd);
+      upd.fds = reinterpret_cast<uint64_t>(&fd);
+      if (uring::Register(ring_.fd, IORING_REGISTER_FILES_UPDATE, &upd, 1) == 1) {
+        TestAndSetBit(fixed_bits_, fd);
+      }
+    }
+    return 0;
+  }
+
+  int Unregister(int fd) override {
+    if (fd < 0 || fd >= kMaxFds || !TestAndClearBit(reg_bits_, fd)) {
+      errno = EBADF;
+      return -1;
+    }
+    registered_count_.fetch_sub(1, std::memory_order_relaxed);
+    bool fixed = fd < static_cast<int>(kFixedSlots) && TestBit(fixed_bits_, fd);
+    // Cancel in-flight ops on this fd; their waiters return ECANCELED like
+    // the epoll engine's CancelWaiters sweep. Flush before touching the fixed
+    // slot so an unsubmitted SQE cannot prep against an emptied table.
+    AppendCancelAll(fd, fixed);
+    {
+      SpinLockGuard g(sq_lock_);
+      FlushLocked();
+    }
+    if (fixed) {
+      int minus_one = -1;
+      struct io_uring_files_update upd = {};
+      upd.offset = static_cast<unsigned>(fd);
+      upd.fds = reinterpret_cast<uint64_t>(&minus_one);
+      (void)uring::Register(ring_.fd, IORING_REGISTER_FILES_UPDATE, &upd, 1);
+      TestAndClearBit(fixed_bits_, fd);
+    }
+    return 0;
+  }
+
+  bool IsRegistered(int fd) const override {
+    return fd >= 0 && fd < kMaxFds && TestBit(reg_bits_, fd);
+  }
+
+  int ParkedCount() const override {
+    return parked_count_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Parking I/O ----------------------------------------------------------
+
+  ssize_t Read(int fd, void* buf, size_t count, int64_t timeout_ns) override {
+    count = inject::ShortTransfer(inject::kNetSyscall, count);
+    count = inject::ShortTransfer(inject::kNetCompletion, count);
+    if (timeout_ns == 0 || !IsRegistered(fd)) {
+      ssize_t n = read(fd, buf, count);
+      if (n >= 0) {
+        return NetResult(n, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
+      return NetResult<ssize_t>(-1, timeout_ns == 0 ? EAGAIN : EBADF);
+    }
+    Deadline deadline(timeout_ns);
+    for (;;) {
+      // Try-first: data already buffered needs no ring round-trip.
+      ssize_t n = read(fd, buf, count);
+      if (n >= 0) {
+        return NetResult(n, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
+      struct io_uring_sqe sqe;
+      PrepRw(&sqe, IORING_OP_READ, fd, buf, count);
+      int32_t res = SubmitAndWait(&sqe, fd, NET_READABLE, deadline.Remaining());
+      if (res >= 0) {
+        return NetResult(static_cast<ssize_t>(res), 0);
+      }
+      if (res == -EAGAIN) {
+        continue;  // defensive: the kernel's internal poll-arm did not engage
+      }
+      return NetResult<ssize_t>(-1, static_cast<int>(-res));
+    }
+  }
+
+  ssize_t Write(int fd, const void* buf, size_t count,
+                int64_t timeout_ns) override {
+    count = inject::ShortTransfer(inject::kNetSyscall, count);
+    count = inject::ShortTransfer(inject::kNetCompletion, count);
+    if (timeout_ns == 0 || !IsRegistered(fd)) {
+      ssize_t n = WriteNoSigpipe(fd, buf, count);
+      if (n >= 0) {
+        return NetResult(n, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
+      return NetResult<ssize_t>(-1, timeout_ns == 0 ? EAGAIN : EBADF);
+    }
+    Deadline deadline(timeout_ns);
+    bool use_send = true;  // OP_SEND carries MSG_NOSIGNAL; pipes fall back
+    for (;;) {
+      // Try-first: a send into a non-full socket buffer needs no ring
+      // round-trip — this is the write hot path under load.
+      ssize_t n = WriteNoSigpipe(fd, buf, count);
+      if (n >= 0) {
+        return NetResult(n, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
+      struct io_uring_sqe sqe;
+      if (use_send) {
+        PrepRw(&sqe, IORING_OP_SEND, fd, const_cast<void*>(buf), count);
+        sqe.msg_flags = MSG_NOSIGNAL;
+      } else {
+        PrepRw(&sqe, IORING_OP_WRITE, fd, const_cast<void*>(buf), count);
+      }
+      int32_t res = SubmitAndWait(&sqe, fd, NET_WRITABLE, deadline.Remaining());
+      if (res >= 0) {
+        return NetResult(static_cast<ssize_t>(res), 0);
+      }
+      if (res == -ENOTSOCK && use_send) {
+        use_send = false;
+        continue;
+      }
+      if (res == -EAGAIN) {
+        continue;
+      }
+      return NetResult<ssize_t>(-1, static_cast<int>(-res));
+    }
+  }
+
+  ssize_t Writev(int fd, const struct iovec* iov, int iovcnt,
+                 int64_t timeout_ns) override {
+    // Local copy: the continuation advances iov_base/iov_len mid-entry and
+    // must not scribble on the caller's array. The copy lives on this stack,
+    // which stays pinned while the submitter is parked — SENDMSG reads it at
+    // submission prep, strictly before the completion wake.
+    struct iovec local[NET_IOV_MAX];
+    size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      local[i] = iov[i];
+      total += iov[i].iov_len;
+    }
+    if (total == 0) {
+      return NetResult<ssize_t>(0, 0);
+    }
+    Deadline deadline(timeout_ns);
+    int idx = 0;
+    bool use_sendmsg = true;
+    bool parking = timeout_ns != 0 && IsRegistered(fd);
+    struct msghdr msg;
+    for (;;) {
+      while (idx < iovcnt && local[idx].iov_len == 0) {
+        ++idx;
+      }
+      if (idx == iovcnt) {
+        return NetResult<ssize_t>(static_cast<ssize_t>(total), 0);
+      }
+      // Injected short transfer: clamp this attempt to a prefix of the first
+      // pending entry, exercising the mid-entry continuation.
+      size_t clamped =
+          inject::ShortTransfer(inject::kNetSyscall, local[idx].iov_len);
+      clamped = inject::ShortTransfer(inject::kNetCompletion, clamped);
+      // Try-first for both shapes: parking or not, a writable socket takes
+      // the one-syscall path. Only an EAGAIN in parking mode rides the ring.
+      ssize_t n = clamped < local[idx].iov_len
+                      ? WriteNoSigpipe(fd, local[idx].iov_base, clamped)
+                      : WritevNoSigpipe(fd, &local[idx], iovcnt - idx);
+      if (n < 0 && !WouldBlock(errno)) {
+        return NetResult<ssize_t>(-1, errno);
+      }
+      if (n < 0 && !parking) {
+        return NetResult<ssize_t>(-1, timeout_ns == 0 ? EAGAIN : EBADF);
+      }
+      if (n < 0) {
+        struct io_uring_sqe sqe;
+        if (clamped < local[idx].iov_len) {
+          PrepRw(&sqe, use_sendmsg ? IORING_OP_SEND : IORING_OP_WRITE, fd,
+                 local[idx].iov_base, clamped);
+          if (use_sendmsg) {
+            sqe.msg_flags = MSG_NOSIGNAL;
+          }
+        } else if (use_sendmsg) {
+          memset(&msg, 0, sizeof(msg));
+          msg.msg_iov = &local[idx];
+          msg.msg_iovlen = static_cast<size_t>(iovcnt - idx);
+          PrepRw(&sqe, IORING_OP_SENDMSG, fd, &msg, 1);
+          sqe.msg_flags = MSG_NOSIGNAL;
+        } else {
+          PrepRw(&sqe, IORING_OP_WRITEV, fd, &local[idx],
+                 static_cast<unsigned>(iovcnt - idx));
+        }
+        int32_t res =
+            SubmitAndWait(&sqe, fd, NET_WRITABLE, deadline.Remaining());
+        if (res == -ENOTSOCK && use_sendmsg) {
+          use_sendmsg = false;
+          continue;
+        }
+        if (res == -EAGAIN) {
+          continue;
+        }
+        if (res < 0) {
+          return NetResult<ssize_t>(-1, static_cast<int>(-res));
+        }
+        n = res;
+      }
+      size_t adv = static_cast<size_t>(n);
+      while (adv > 0 && idx < iovcnt) {
+        if (adv >= local[idx].iov_len) {
+          adv -= local[idx].iov_len;
+          local[idx].iov_len = 0;
+          ++idx;
+        } else {
+          local[idx].iov_base = static_cast<char*>(local[idx].iov_base) + adv;
+          local[idx].iov_len -= adv;
+          adv = 0;
+        }
+      }
+    }
+  }
+
+  int Accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+             int64_t timeout_ns) override {
+    if (timeout_ns == 0 || !IsRegistered(sockfd)) {
+      int fd = accept(sockfd, addr, addrlen);
+      if (fd >= 0) {
+        return NetResult(fd, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult(-1, errno);
+      }
+      return NetResult(-1, timeout_ns == 0 ? EAGAIN : EBADF);
+    }
+    Deadline deadline(timeout_ns);
+    for (;;) {
+      // Try-first: a pending connection needs no ring round-trip.
+      int got = accept(sockfd, addr, addrlen);
+      if (got >= 0) {
+        return NetResult(got, 0);
+      }
+      if (!WouldBlock(errno)) {
+        return NetResult(-1, errno);
+      }
+      struct io_uring_sqe sqe;
+      PrepRw(&sqe, IORING_OP_ACCEPT, sockfd, addr, 0);
+      sqe.addr2 = reinterpret_cast<uint64_t>(addrlen);
+      int32_t res =
+          SubmitAndWait(&sqe, sockfd, NET_READABLE, deadline.Remaining());
+      if (res >= 0) {
+        // Like accept(2), the new fd is returned blocking and unregistered.
+        return NetResult(static_cast<int>(res), 0);
+      }
+      if (res == -EAGAIN) {
+        continue;
+      }
+      return NetResult(-1, static_cast<int>(-res));
+    }
+  }
+
+  int Connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen,
+              int64_t timeout_ns) override {
+    if (timeout_ns == 0 || !IsRegistered(sockfd)) {
+      if (connect(sockfd, addr, addrlen) == 0) {
+        return NetResult(0, 0);
+      }
+      if (errno == EINTR || errno == EINPROGRESS) {
+        // Mirror the epoll engine's WaitReady verdict for these two shapes:
+        // a nonblocking try reports ETIME, an unregistered fd EBADF.
+        return NetResult(-1, timeout_ns == 0 ? ETIME : EBADF);
+      }
+      return NetResult(-1, errno);
+    }
+    // OP_CONNECT runs the whole nonblocking connect + completion wait in the
+    // kernel; no SO_ERROR readback needed, the CQE carries the verdict.
+    struct io_uring_sqe sqe;
+    PrepRw(&sqe, IORING_OP_CONNECT, sockfd,
+           const_cast<struct sockaddr*>(addr), 0);
+    sqe.off = addrlen;
+    int32_t res = SubmitAndWait(&sqe, sockfd, NET_WRITABLE, timeout_ns);
+    if (res >= 0) {
+      return NetResult(0, 0);
+    }
+    return NetResult(-1, static_cast<int>(-res));
+  }
+
+  int WaitReady(int fd, uint32_t events, int64_t timeout_ns) override {
+    SUNMT_DCHECK(events == NET_READABLE || events == NET_WRITABLE);
+    inject::Perturb(inject::kNetWaitReady);
+    if (!IsRegistered(fd)) {
+      return EBADF;
+    }
+    if (mode_.load(std::memory_order_acquire) == Mode::kStopped) {
+      return ECANCELED;
+    }
+    short pevents = events == NET_READABLE ? POLLIN : POLLOUT;
+    if (timeout_ns == 0) {
+      // Level-triggered probe: the completion model has no edge latch to
+      // consume, a nonblocking readiness check is just poll(2).
+      struct pollfd p = {fd, pevents, 0};
+      return poll(&p, 1, 0) > 0 ? 0 : ETIME;
+    }
+    struct io_uring_sqe sqe;
+    PrepRw(&sqe, IORING_OP_POLL_ADD, fd, nullptr, 0);
+    sqe.poll32_events = static_cast<uint32_t>(pevents);
+    int32_t res = SubmitAndWait(&sqe, fd, static_cast<uint8_t>(events),
+                                timeout_ns);
+    if (res >= 0) {
+      return 0;
+    }
+    return static_cast<int>(-res);
+  }
+
+  // ---- Inline fallback ------------------------------------------------------
+
+  int PollInline() override {
+    if (mode_.load(std::memory_order_acquire) != Mode::kInline) {
+      return -1;
+    }
+    if (in_flight_.load(std::memory_order_acquire) == 0 &&
+        deferred_count_.load(std::memory_order_relaxed) == 0) {
+      return -1;  // nothing submitted: deep-park is fine
+    }
+    {
+      SpinLockGuard g(sq_lock_);
+      if (pending_ > 0) {
+        FlushLocked();  // e.g. an earlier flush bounced on CQ overflow
+      }
+    }
+    return DrainCompletions();
+  }
+
+  void Snapshot(NetBackendStats* out) const override {
+    *out = NetBackendStats{};
+    out->name = Name();
+    out->registered = registered_count_.load(std::memory_order_relaxed);
+    out->parked = parked_count_.load(std::memory_order_relaxed);
+    out->submits = submits_.load(std::memory_order_relaxed);
+    out->completes = completes_.load(std::memory_order_relaxed);
+    out->cancels = cancels_.load(std::memory_order_relaxed);
+    out->enters = enters_.load(std::memory_order_relaxed);
+    out->sqes_flushed = sqes_flushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kMaxFds = 65536;
+
+  UringBackend() { EnsureForkHandler(); }
+
+  void InitFixedFiles() {
+    const char* flag = getenv("SUNMT_NET_URING_FIXED");
+    if (flag == nullptr || flag[0] != '1') {
+      return;
+    }
+    std::vector<int32_t> sparse(kFixedSlots, -1);
+    if (uring::Register(ring_.fd, IORING_REGISTER_FILES, sparse.data(),
+                        kFixedSlots) == 0) {
+      fixed_files_ = true;
+    }
+    // Failure just disables the fast path; the engine runs on raw fds.
+  }
+
+  // ---- fd bitmaps -----------------------------------------------------------
+
+  static bool TestBit(const std::atomic<uint32_t>* bits, int fd) {
+    return (bits[fd >> 5].load(std::memory_order_acquire) &
+            (1u << (fd & 31))) != 0;
+  }
+  static bool TestAndSetBit(std::atomic<uint32_t>* bits, int fd) {
+    uint32_t mask = 1u << (fd & 31);
+    return (bits[fd >> 5].fetch_or(mask, std::memory_order_acq_rel) & mask) != 0;
+  }
+  static bool TestAndClearBit(std::atomic<uint32_t>* bits, int fd) {
+    uint32_t mask = 1u << (fd & 31);
+    return (bits[fd >> 5].fetch_and(~mask, std::memory_order_acq_rel) & mask) !=
+           0;
+  }
+
+  // ---- SQE preparation ------------------------------------------------------
+
+  void PrepRw(struct io_uring_sqe* sqe, uint8_t opcode, int fd, void* addr,
+              size_t len) {
+    memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = opcode;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<uint64_t>(addr);
+    sqe->len = static_cast<uint32_t>(len);
+    if (fixed_files_ && fd >= 0 && fd < static_cast<int>(kFixedSlots) &&
+        TestBit(fixed_bits_, fd)) {
+      sqe->flags |= IOSQE_FIXED_FILE;  // slot index == fd by construction
+    }
+  }
+
+  // ---- Submission -----------------------------------------------------------
+
+  // Appends one SQE. Returns false when the engine is stopped (a later append
+  // would sit behind Stop()'s cancel-any and never be cancelled). Dedicated
+  // mode: the reaper flushes, submitters only pay a deduplicated eventfd
+  // write. Inline/stopped: the appender flushes immediately, one syscall per
+  // op — same cost shape as epoll, which is why inline is the fallback and
+  // not the serving configuration.
+  bool AppendSqe(const struct io_uring_sqe& tmpl, bool allow_stopped) {
+    SpinLockGuard g(sq_lock_);
+    Mode mode = mode_.load(std::memory_order_acquire);
+    if (mode == Mode::kStopped && !allow_stopped) {
+      return false;
+    }
+    unsigned tail = __atomic_load_n(ring_.sq_tail, __ATOMIC_RELAXED);
+    unsigned head = __atomic_load_n(ring_.sq_head, __ATOMIC_ACQUIRE);
+    if (tail - head == ring_.sq_entries) {
+      FlushLocked();  // SQ full: make room (deeper burst than the ring)
+    }
+    unsigned idx = tail & ring_.sq_mask;
+    ring_.sqes[idx] = tmpl;
+    ring_.sq_array[idx] = idx;
+    __atomic_store_n(ring_.sq_tail, tail + 1, __ATOMIC_RELEASE);
+    ++pending_;
+    if (mode == Mode::kDedicated) {
+      Kick();
+    } else {
+      FlushLocked();
+    }
+    return true;
+  }
+
+  // sq_lock_ held. Hands every staged SQE to the kernel without waiting.
+  void FlushLocked() {
+    while (pending_ > 0) {
+      int r = uring::Enter(ring_.fd, pending_, 0, 0);
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // e.g. EBUSY on CQ overflow: retried after the next drain
+      }
+      RecordFlush(static_cast<unsigned>(r));
+      pending_ -= static_cast<unsigned>(r);
+      if (r == 0) {
+        break;
+      }
+    }
+  }
+
+  void RecordFlush(unsigned flushed) {
+    if (flushed == 0) {
+      return;
+    }
+    enters_.fetch_add(1, std::memory_order_relaxed);
+    sqes_flushed_.fetch_add(flushed, std::memory_order_relaxed);
+    if (Stats::Enabled()) {
+      Stats::RecordValue(LatencyStat::kNetUringSqeBatch, flushed);
+    }
+  }
+
+  // Wakes a reaper blocked in io_uring_enter(GETEVENTS): one eventfd write,
+  // deduplicated — the armed POLL_ADD turns it into a CQE. The flag is
+  // cleared by the reaper only after it has re-armed the poll, so an append
+  // that observes it set is guaranteed to be staged before the reaper's next
+  // blocking enter.
+  void Kick() {
+    // Only a reaper actually blocked in GETEVENTS needs the eventfd; while it
+    // is processing (or hasn't started), the pre-block sample picks this SQE
+    // up on its own. Appends hold sq_lock_, where the flag is published, so
+    // "flag clear" can only mean the next sample has yet to run.
+    if (!reaper_blocked_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (!kick_pending_.exchange(true, std::memory_order_acq_rel)) {
+      uint64_t one = 1;
+      (void)!write(kick_fd_, &one, sizeof(one));
+    }
+  }
+
+  void AppendKickPoll() {
+    struct io_uring_sqe sqe;
+    PrepRw(&sqe, IORING_OP_POLL_ADD, kick_fd_, nullptr, 0);
+    sqe.poll32_events = POLLIN;
+    sqe.user_data = kUdKick;
+    AppendSqe(sqe, /*allow_stopped=*/false);
+  }
+
+  // ASYNC_CANCEL matching by fd (unregister) or everything (stop, fd < 0).
+  void AppendCancelAll(int fd, bool fixed) {
+    struct io_uring_sqe sqe;
+    memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode = IORING_OP_ASYNC_CANCEL;
+    sqe.user_data = kUdIgnore;
+    if (fd < 0) {
+      sqe.cancel_flags = IORING_ASYNC_CANCEL_ANY;
+    } else {
+      sqe.fd = fd;
+      sqe.cancel_flags = IORING_ASYNC_CANCEL_FD | IORING_ASYNC_CANCEL_ALL;
+      if (fixed) {
+        sqe.cancel_flags |= IORING_ASYNC_CANCEL_FD_FIXED;
+      }
+    }
+    cancels_.fetch_add(1, std::memory_order_relaxed);
+    AppendSqe(sqe, /*allow_stopped=*/true);
+  }
+
+  // ---- The wait -------------------------------------------------------------
+
+  // Submits `tmpl` and parks until its CQE delivers the result: >= 0, or
+  // -errno (with a deadline-cancelled op mapped to -ETIME). This is the PR 4
+  // timeout protocol with the op as a single-entry wait queue.
+  int32_t SubmitAndWait(struct io_uring_sqe* tmpl, int fd, uint8_t park_events,
+                        int64_t timeout_ns) {
+    inject::Perturb(inject::kNetCompletion);
+    Tcb* self = sched::CurrentTcbOrAdopt();
+    int64_t wait_start = SyncWaitStartNs();
+    UringOp* op = OpAlloc::New();
+    op->owner = self;
+    tmpl->user_data = reinterpret_cast<uint64_t>(op) | kTagOp;
+    op->lock.Lock();
+    // Release: publishes the constructed op. The pointer travels to the
+    // delivering thread through the kernel (SQE -> CQE), and the deliverer
+    // need not pass through sq_lock_ on the way (another thread may have
+    // flushed our SQE — e.g. Unregister — while the reaper sat in
+    // GETEVENTS), so this store / Deliver's acquire load of refs is the
+    // only user-space edge ordering the constructor before the delivery.
+    op->refs.store(2, std::memory_order_release);  // waiter + CQE
+    if (!AppendSqe(*tmpl, /*allow_stopped=*/false)) {
+      op->refs.store(1, std::memory_order_relaxed);
+      op->lock.Unlock();
+      OpDecRef(op);
+      return -ECANCELED;
+    }
+    submits_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_release);
+    // The completion (and the deadline fire) needs op->lock, which we hold:
+    // nothing can finish the op before the timer below is armed.
+    uint64_t generation = ++self->block_generation;
+    uint64_t fire_seq = self->timeout_fire_seq.load(std::memory_order_relaxed);
+    timer_id_t timer = kInvalidTimerId;
+    if (timeout_ns > 0) {
+      timer = timer_arm_callback(timeout_ns, &UringBackend::TimeoutFire, op,
+                                 generation);
+    }
+    while (!op->done) {
+      op->waiter = self;
+      parked_count_.fetch_add(1, std::memory_order_release);
+      if (mode_.load(std::memory_order_acquire) == Mode::kInline) {
+        ArmInlineTick();
+      }
+      sched::ParkOnFd(&op->lock, fd, park_events);
+      parked_count_.fetch_sub(1, std::memory_order_release);
+      op->lock.Lock();  // spurious wake (injected): loop re-parks
+    }
+    int32_t res = op->res;
+    uint8_t reason = op->cancel_reason;
+    op->lock.Unlock();
+    SyncWaitEndNs(LatencyStat::kNetCompletionWait, TraceEvent::kNetWake,
+                  self->id, wait_start);
+    if (timer != kInvalidTimerId && timer_cancel(timer) != 0) {
+      // The fire is in flight and dereferences the op; hold our reference
+      // until it acks through timeout_fire_seq (same dance as the epoll
+      // engine's NetTimeoutCtx).
+      WaitqAwaitTimeoutFire(self, fire_seq);
+    }
+    OpDecRef(op);
+    if (res == -ECANCELED && reason == kCancelDeadline) {
+      return -ETIME;
+    }
+    return res;
+  }
+
+  static void OpDecRef(UringOp* op) {
+    if (op->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      OpAlloc::Delete(op);
+    }
+  }
+
+  // Deadline expired before the CQE. Do NOT wake the waiter: the kernel may
+  // still write into its buffer, so the wake must come from the op's own
+  // completion — submit an ASYNC_CANCEL and let the resulting -ECANCELED CQE
+  // deliver it. Stale fires (generation mismatch / op already done) leave the
+  // op untouched; either way the ack is the last touch, after which the
+  // awaiting waiter may free the op.
+  static void TimeoutFire(void* cookie, uint64_t generation) {
+    auto* op = static_cast<UringOp*>(cookie);
+    UringBackend* backend = g_uring.load(std::memory_order_acquire);
+    op->lock.Lock();
+    Tcb* owner = op->owner;
+    if (!op->done && owner->block_generation == generation &&
+        op->cancel_reason == kCancelNone && backend != nullptr) {
+      struct io_uring_sqe sqe;
+      memset(&sqe, 0, sizeof(sqe));
+      sqe.opcode = IORING_OP_ASYNC_CANCEL;
+      sqe.addr = reinterpret_cast<uint64_t>(op) | kTagOp;
+      sqe.user_data = (reinterpret_cast<uint64_t>(op) & ~kTagMask) | kTagCancel;
+      op->refs.fetch_add(1, std::memory_order_relaxed);  // cancel CQE ref
+      if (backend->AppendSqe(sqe, /*allow_stopped=*/false)) {
+        op->cancel_reason = kCancelDeadline;
+        backend->cancels_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Stopped: the cancel-any sweep owns this op's fate (ECANCELED).
+        op->refs.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    op->lock.Unlock();
+    owner->timeout_fire_seq.fetch_add(1, std::memory_order_release);
+  }
+
+  // ---- Completion side ------------------------------------------------------
+
+  // Single CQ consumer at a time: the reaper in dedicated mode, an idle LWP /
+  // tick / Stop() sweep otherwise. Returns the number of waiters woken.
+  int DrainCompletions() {
+    if (cq_busy_.exchange(1, std::memory_order_acquire) != 0) {
+      return 0;
+    }
+    int woken = 0;
+    // Injected "dropped" completions from the previous pass deliver first.
+    if (deferred_count_.load(std::memory_order_relaxed) > 0) {
+      std::vector<Deferred> batch;
+      batch.swap(deferred_);
+      deferred_count_.store(0, std::memory_order_relaxed);
+      for (const Deferred& d : batch) {
+        Deliver(d.op, d.res, /*can_defer=*/false, &woken);
+      }
+    }
+    unsigned head = __atomic_load_n(ring_.cq_head, __ATOMIC_RELAXED);
+    for (;;) {
+      unsigned tail = __atomic_load_n(ring_.cq_tail, __ATOMIC_ACQUIRE);
+      if (head == tail) {
+        break;
+      }
+      while (head != tail) {
+        struct io_uring_cqe* cqe = &ring_.cqes[head & ring_.cq_mask];
+        ProcessCqe(cqe, &woken);
+        ++head;
+        __atomic_store_n(ring_.cq_head, head, __ATOMIC_RELEASE);
+      }
+    }
+    cq_busy_.store(0, std::memory_order_release);
+    return woken;
+  }
+
+  void ProcessCqe(const struct io_uring_cqe* cqe, int* woken) {
+    uint64_t ud = cqe->user_data;
+    switch (ud & kTagMask) {
+      case kTagOp:
+        Deliver(reinterpret_cast<UringOp*>(ud & ~kTagMask), cqe->res,
+                /*can_defer=*/true, woken);
+        break;
+      case kTagCancel:
+        // A deadline fire's ASYNC_CANCEL finished (result irrelevant: ENOENT
+        // just means the op beat it); release its reference on the target.
+        OpDecRef(reinterpret_cast<UringOp*>(ud & ~kTagMask));
+        break;
+      default:
+        if (ud == kUdKick && cqe->res >= 0) {
+          // Drain the eventfd and re-arm BEFORE clearing the dedup flag, so
+          // a suppressed kick always has its SQE staged ahead of the next
+          // blocking enter.
+          uint64_t token;
+          while (read(kick_fd_, &token, sizeof(token)) > 0) {
+          }
+          AppendKickPoll();
+          kick_pending_.store(false, std::memory_order_release);
+        }
+        break;  // cancel-any/-fd verdicts and cancelled kick polls: ignore
+    }
+  }
+
+  struct Deferred {
+    UringOp* op;
+    int32_t res;
+  };
+
+  void Deliver(UringOp* op, int32_t res, bool can_defer, int* woken) {
+    // Acquire: pairs with SubmitAndWait's release store of refs. The op
+    // reached us via the CQE's user_data — a kernel-mediated handoff with no
+    // user-space synchronization of its own — so this load is what orders
+    // the submitter's construction before every access below.
+    (void)op->refs.load(std::memory_order_acquire);
+    if (can_defer && inject::Fault(inject::kNetCompletion)) {
+      // Injected dropped completion: park the CQE for one pass; the reaper /
+      // tick re-delivers it before the next drain. (Injection-only path, so
+      // the vector push is outside the zero-alloc steady-state contract.)
+      deferred_.push_back(Deferred{op, res});
+      deferred_count_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (inject::Fault(inject::kNetCompletion)) {
+      // Injected spurious wake: rouse the waiter with the op not done; it
+      // observes !done under the lock and re-parks.
+      op->lock.Lock();
+      Tcb* spurious = op->waiter;
+      op->waiter = nullptr;
+      op->lock.Unlock();
+      if (spurious != nullptr) {
+        sched::WakeFdWaiter(spurious);
+      }
+    }
+    op->lock.Lock();
+    op->res = res;
+    op->done = true;
+    Tcb* w = op->waiter;
+    op->waiter = nullptr;
+    op->lock.Unlock();
+    // Counters before the wake: once the waiter runs it may observe the
+    // stats (and on one CPU it often runs before we do anything else), so a
+    // post-wake increment would let a completed op look in-flight.
+    completes_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    if (w != nullptr) {
+      sched::WakeFdWaiter(w);
+      ++*woken;
+    }
+    OpDecRef(op);  // the CQE's reference
+  }
+
+  // ---- Dedicated reaper -----------------------------------------------------
+
+  static void ReaperMain(void* arg) {
+    auto* backend = static_cast<UringBackend*>(arg);
+    thread_setname(0, "netreaper");
+    backend->ReaperLoop();
+  }
+
+  void ReaperLoop() {
+    while (!stopping_.load(std::memory_order_acquire)) {
+      bool will_block = deferred_count_.load(std::memory_order_relaxed) == 0;
+      unsigned n;
+      {
+        SpinLockGuard g(sq_lock_);
+        // Publish "about to block" before sampling, under the same lock the
+        // appenders hold: an SQE staged after this sample observes the flag
+        // and kicks; one staged before it rides the enter below. Either way
+        // no submission is left behind a blocking enter that missed it.
+        if (will_block) {
+          reaper_blocked_.store(true, std::memory_order_release);
+        }
+        n = pending_;
+        pending_ = 0;
+      }
+      int r;
+      if (!will_block) {
+        // Injection holds completions in the defer queue; don't block on the
+        // kernel while they wait, just flush and redeliver.
+        r = uring::Enter(ring_.fd, n, 0, 0);
+        thread_yield();
+      } else {
+        // One syscall: flush everything staged AND wait for a completion.
+        // Bound thread: the indefinite kernel wait parks its own LWP only.
+        KernelWaitScope wait(/*indefinite=*/true);
+        r = uring::Enter(ring_.fd, n, 1, IORING_ENTER_GETEVENTS);
+        reaper_blocked_.store(false, std::memory_order_release);
+      }
+      if (r >= 0) {
+        RecordFlush(static_cast<unsigned>(r));
+        if (static_cast<unsigned>(r) < n) {
+          SpinLockGuard g(sq_lock_);
+          pending_ += n - static_cast<unsigned>(r);
+        }
+      } else {
+        SpinLockGuard g(sq_lock_);
+        pending_ += n;  // EINTR before submission: nothing consumed
+      }
+      if (DrainCompletions() > 0) {
+        // A woken waiter usually stages its next op immediately (the echo
+        // pattern: reply written, next read parks). Yield once so those SQEs
+        // are staged before the sample above and ride our own blocking enter,
+        // instead of each paying an eventfd kick to re-wake us.
+        thread_yield();
+      }
+    }
+  }
+
+  // ---- Inline tick (same periodic backstop as the epoll engine) -------------
+
+  static void InlineTickThunk(void* cookie, uint64_t) {
+    static_cast<UringBackend*>(cookie)->InlineTick();
+  }
+
+  void InlineTick() {
+    PollInline();
+    if (mode_.load(std::memory_order_acquire) == Mode::kInline &&
+        in_flight_.load(std::memory_order_acquire) > 0) {
+      return;  // still needed: the periodic re-fires on its own
+    }
+    uint64_t id = inline_tick_timer_.exchange(0, std::memory_order_acq_rel);
+    if (id == 0) {
+      return;
+    }
+    timer_cancel(id);
+    inline_tick_armed_.store(false, std::memory_order_release);
+    if (mode_.load(std::memory_order_acquire) == Mode::kInline &&
+        in_flight_.load(std::memory_order_acquire) > 0) {
+      ArmInlineTick();  // an op slipped in between the check and the disarm
+    }
+  }
+
+  void ArmInlineTick() {
+    if (inline_tick_armed_.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    inline_tick_timer_.store(
+        timer_arm_callback_periodic(kInlinePollPeriodNs, kInlinePollPeriodNs,
+                                    &UringBackend::InlineTickThunk, this, 0),
+        std::memory_order_release);
+  }
+
+  // ---- State ---------------------------------------------------------------
+
+  uring::Ring ring_;
+  int kick_fd_ = -1;
+  bool fixed_files_ = false;
+
+  SpinLock sq_lock_;
+  unsigned pending_ = 0;  // staged SQEs not yet handed to the kernel
+  std::atomic<bool> kick_pending_{false};
+  std::atomic<bool> reaper_blocked_{false};
+
+  std::atomic<Mode> mode_{Mode::kInline};
+  SpinLock lifecycle_lock_;
+  std::atomic<bool> dedicated_running_{false};
+  std::atomic<bool> stopping_{false};
+  thread_id_t reaper_thread_ = 0;
+
+  std::atomic<uint32_t> reg_bits_[kMaxFds / 32] = {};
+  std::atomic<uint32_t> fixed_bits_[kMaxFds / 32] = {};
+  std::atomic<int> registered_count_{0};
+  std::atomic<int> parked_count_{0};
+  std::atomic<uint64_t> in_flight_{0};
+
+  std::atomic<uint32_t> cq_busy_{0};
+  std::vector<Deferred> deferred_;  // guarded by the cq_busy_ claim
+  std::atomic<int> deferred_count_{0};
+
+  std::atomic<bool> inline_tick_armed_{false};
+  std::atomic<uint64_t> inline_tick_timer_{0};
+
+  std::atomic<uint64_t> submits_{0};
+  std::atomic<uint64_t> completes_{0};
+  std::atomic<uint64_t> cancels_{0};
+  std::atomic<uint64_t> enters_{0};
+  std::atomic<uint64_t> sqes_flushed_{0};
+};
+
+}  // namespace
+
+NetBackend* NetUringBackendGet() {
+  UringBackend* backend = g_uring.load(std::memory_order_acquire);
+  if (backend != nullptr || g_uring_probed.load(std::memory_order_acquire)) {
+    return backend;
+  }
+  SpinLockGuard guard(g_uring_create_lock);
+  backend = g_uring.load(std::memory_order_acquire);
+  if (backend == nullptr && !g_uring_probed.load(std::memory_order_acquire)) {
+    backend = UringBackend::Create();  // nullptr: kernel lacks io_uring
+    g_uring.store(backend, std::memory_order_release);
+    g_uring_probed.store(true, std::memory_order_release);
+  }
+  return backend;
+}
+
+}  // namespace sunmt

@@ -1,0 +1,137 @@
+// Minimal, liburing-free io_uring plumbing: the three raw syscalls and the
+// ring mmap layout. The build must stay dependency-free (the container bakes
+// in only the C++ toolchain), and the engine needs so little of liburing —
+// append an SQE, bump a tail, read CQEs — that the vendored shim is smaller
+// than the dependency.
+//
+// Ring indices are shared with the kernel, so every access goes through the
+// __atomic builtins (which TSan instruments): the kernel advances sq_head and
+// cq_tail; userspace advances sq_tail (release, after writing the SQE) and
+// cq_head (release, after reading the CQE).
+//
+// Only rings with IORING_FEAT_SINGLE_MMAP + IORING_FEAT_NODROP (Linux 5.4+)
+// are accepted; anything older fails the probe and the engine falls back to
+// epoll, which keeps the mapping and overflow logic out of this file.
+
+#ifndef SUNMT_SRC_NET_URING_SHIM_H_
+#define SUNMT_SRC_NET_URING_SHIM_H_
+
+#include <linux/io_uring.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sunmt {
+namespace uring {
+
+inline int Setup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+inline int Enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                 unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+inline int Register(int ring_fd, unsigned opcode, const void* arg,
+                    unsigned nr_args) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
+}
+
+// The mapped ring. Plain data; locking and submission discipline live in the
+// engine (uring_backend.cc).
+struct Ring {
+  int fd = -1;
+  unsigned sq_entries = 0;
+  unsigned cq_entries = 0;
+  unsigned sq_mask = 0;
+  unsigned cq_mask = 0;
+  unsigned* sq_head = nullptr;   // kernel-advanced consume index
+  unsigned* sq_tail = nullptr;   // our produce index
+  unsigned* sq_array = nullptr;  // index indirection into sqes[]
+  struct io_uring_sqe* sqes = nullptr;
+  unsigned* cq_head = nullptr;   // our consume index
+  unsigned* cq_tail = nullptr;   // kernel-advanced produce index
+  struct io_uring_cqe* cqes = nullptr;
+
+  // Creates and maps a ring. Returns false (with the partial state torn down)
+  // when the kernel cannot provide one this engine can drive.
+  bool Init(unsigned entries, unsigned cq_size) {
+    struct io_uring_params p;
+    memset(&p, 0, sizeof(p));
+    p.flags = IORING_SETUP_CQSIZE;
+    p.cq_entries = cq_size;
+    fd = Setup(entries, &p);
+    if (fd < 0) {
+      // Pre-5.5 kernels reject IORING_SETUP_CQSIZE; the default CQ (2*SQ) is
+      // still workable thanks to NODROP, so retry plain before giving up.
+      memset(&p, 0, sizeof(p));
+      fd = Setup(entries, &p);
+    }
+    if (fd < 0) {
+      return false;  // ENOSYS / EPERM (seccomp): no io_uring here
+    }
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) == 0 ||
+        (p.features & IORING_FEAT_NODROP) == 0) {
+      close(fd);
+      fd = -1;
+      return false;
+    }
+    sq_entries = p.sq_entries;
+    cq_entries = p.cq_entries;
+    size_t sq_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    size_t cq_sz = p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+    ring_sz_ = sq_sz > cq_sz ? sq_sz : cq_sz;
+    ring_ptr_ = mmap(nullptr, ring_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    sqes_sz_ = p.sq_entries * sizeof(struct io_uring_sqe);
+    sqes_ptr_ = mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (ring_ptr_ == MAP_FAILED || sqes_ptr_ == MAP_FAILED) {
+      Destroy();
+      return false;
+    }
+    char* base = static_cast<char*>(ring_ptr_);
+    sq_head = reinterpret_cast<unsigned*>(base + p.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(base + p.sq_off.tail);
+    sq_mask = *reinterpret_cast<unsigned*>(base + p.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(base + p.sq_off.array);
+    sqes = static_cast<struct io_uring_sqe*>(sqes_ptr_);
+    cq_head = reinterpret_cast<unsigned*>(base + p.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(base + p.cq_off.tail);
+    cq_mask = *reinterpret_cast<unsigned*>(base + p.cq_off.ring_mask);
+    cqes = reinterpret_cast<struct io_uring_cqe*>(base + p.cq_off.cqes);
+    return true;
+  }
+
+  void Destroy() {
+    if (ring_ptr_ != nullptr && ring_ptr_ != MAP_FAILED) {
+      munmap(ring_ptr_, ring_sz_);
+    }
+    if (sqes_ptr_ != nullptr && sqes_ptr_ != MAP_FAILED) {
+      munmap(sqes_ptr_, sqes_sz_);
+    }
+    if (fd >= 0) {
+      close(fd);
+    }
+    ring_ptr_ = sqes_ptr_ = nullptr;
+    fd = -1;
+  }
+
+ private:
+  void* ring_ptr_ = nullptr;
+  size_t ring_sz_ = 0;
+  void* sqes_ptr_ = nullptr;
+  size_t sqes_sz_ = 0;
+};
+
+}  // namespace uring
+}  // namespace sunmt
+
+#endif  // SUNMT_SRC_NET_URING_SHIM_H_

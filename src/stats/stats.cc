@@ -115,6 +115,10 @@ const char* LatencyStatName(LatencyStat stat) {
       return "net.readiness_wait";
     case LatencyStat::kNetEpollBatch:
       return "net.epoll_batch";
+    case LatencyStat::kNetCompletionWait:
+      return "net.completion_wait";
+    case LatencyStat::kNetUringSqeBatch:
+      return "net.uring_sqe_batch";
     case LatencyStat::kCount:
       break;
   }
@@ -123,7 +127,8 @@ const char* LatencyStatName(LatencyStat stat) {
 
 bool LatencyStatIsDuration(LatencyStat stat) {
   return stat != LatencyStat::kRunQueueDepth &&
-         stat != LatencyStat::kNetEpollBatch;
+         stat != LatencyStat::kNetEpollBatch &&
+         stat != LatencyStat::kNetUringSqeBatch;
 }
 
 namespace {

@@ -1,0 +1,240 @@
+// Backend-interface tests: engine selection and fallback (SUNMT_NET_BACKEND,
+// net_backend_select), the quiescence guard on runtime switching, and —
+// when the kernel can run it — the completion engine's observable mechanics:
+// results carried by CQEs, deadline ETIME via async cancel, unregister/stop
+// sweeps, and the submit/complete/batch counters the introspection line and
+// the echo bench's batching assertion are built on.
+//
+// Test order is load-bearing: selection tests run while no fd was ever
+// registered (switching requires quiescence), and the stop test runs last
+// because a stopped engine stays stopped for the process lifetime.
+
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "src/core/runtime.h"
+#include "src/core/thread.h"
+#include "src/io/io.h"
+#include "src/net/backend.h"
+#include "src/net/net.h"
+#include "src/timer/timer.h"
+#include "src/util/clock.h"
+#include "tests/test_util.h"
+
+namespace sunmt {
+namespace {
+
+using sunmt_test::Join;
+using sunmt_test::Spawn;
+
+constexpr int64_t kMs = 1000 * 1000;
+
+bool EnvWantsUring() {
+  const char* name = getenv("SUNMT_NET_BACKEND");
+  return name != nullptr && strcmp(name, "uring") == 0;
+}
+
+TEST(NetBackendSelect, EnvSelectionAndFallbackMatrix) {
+  // First touch instantiates from SUNMT_NET_BACKEND. "uring" degrades to
+  // epoll when unsupported; anything else (or unset) is epoll.
+  const char* expected = EnvWantsUring() && net_uring_supported() ? "uring"
+                                                                  : "epoll";
+  EXPECT_STREQ(expected, net_backend_name());
+  EXPECT_TRUE(net_backend_exists());
+}
+
+TEST(NetBackendSelect, UnknownNameIsEinval) {
+  errno = 0;
+  EXPECT_EQ(-1, net_backend_select("kqueue"));
+  EXPECT_EQ(EINVAL, errno);
+  errno = 0;
+  EXPECT_EQ(-1, net_backend_select(nullptr));
+  EXPECT_EQ(EINVAL, errno);
+}
+
+TEST(NetBackendSelect, UringOnUnsupportedKernelIsEnosys) {
+  if (net_uring_supported()) {
+    GTEST_SKIP() << "kernel runs io_uring; ENOSYS path not reachable";
+  }
+  errno = 0;
+  EXPECT_EQ(-1, net_backend_select("uring"));
+  EXPECT_EQ(ENOSYS, errno);
+}
+
+TEST(NetBackendSelect, SwitchRequiresQuiescence) {
+  if (!net_uring_supported()) {
+    GTEST_SKIP() << "kernel lacks io_uring; no second engine to switch to";
+  }
+  ASSERT_EQ(0, net_backend_select("epoll"));
+  int sp[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+  ASSERT_EQ(0, net_register(sp[0]));
+  // A registered fd lives inside the current engine: switching now would
+  // strand it (and any waiter parked on it) in an engine nobody polls.
+  errno = 0;
+  EXPECT_EQ(-1, net_backend_select("uring"));
+  EXPECT_EQ(EBUSY, errno);
+  EXPECT_STREQ("epoll", net_backend_name());
+  ASSERT_EQ(0, net_unregister(sp[0]));
+  // Quiescent again: the switch goes through, and back.
+  EXPECT_EQ(0, net_backend_select("uring"));
+  EXPECT_STREQ("uring", net_backend_name());
+  EXPECT_EQ(0, net_backend_select("epoll"));
+  close(sp[0]);
+  close(sp[1]);
+}
+
+// A read that would block is submitted as an SQE and the parked thread gets
+// its result from the CQE — no post-wake retry syscall. Ready ops (both
+// writes here, into empty socket buffers) take the try-first fast path and
+// never touch the ring. Echo a payload both directions and check the
+// counters that prove the blocking ops flowed through the ring.
+TEST(NetBackendUring, CompletionCarriesResultsAndCounts) {
+  if (!net_uring_supported()) {
+    GTEST_SKIP() << "kernel lacks io_uring";
+  }
+  ASSERT_EQ(0, net_backend_select("uring"));
+  int sp[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+  ASSERT_EQ(0, net_register(sp[0]));
+  ASSERT_EQ(0, net_register(sp[1]));
+
+  NetBackendStats before;
+  ASSERT_TRUE(net_backend_snapshot(&before));
+  EXPECT_STREQ("uring", before.name);
+  EXPECT_EQ(2, before.registered);
+
+  std::atomic<bool> echoed{false};
+  thread_id_t echo = Spawn([&] {
+    char buf[64];
+    ssize_t n = net_read(sp[1], buf, sizeof(buf));  // parks until the CQE
+    ASSERT_EQ(5, n);
+    EXPECT_EQ(0, memcmp(buf, "hello", 5));
+    thread_sleep_ns(5 * kMs);  // ensure the main thread's read parks too
+    ASSERT_EQ(5, net_write(sp[1], buf, 5));
+    echoed.store(true);
+  });
+  thread_sleep_ns(5 * kMs);  // let the reader park on its submitted OP_READ
+  ASSERT_EQ(5, net_write(sp[0], "hello", 5));
+  char back[64];
+  ASSERT_EQ(5, net_read(sp[0], back, sizeof(back)));
+  EXPECT_EQ(0, memcmp(back, "hello", 5));
+  Join(echo);
+  EXPECT_TRUE(echoed.load());
+
+  NetBackendStats after;
+  ASSERT_TRUE(net_backend_snapshot(&after));
+  EXPECT_GE(after.submits, before.submits + 2);    // both reads parked
+  EXPECT_GE(after.completes, before.completes + 2);
+  EXPECT_GT(after.enters, 0u);
+  EXPECT_GE(after.sqes_flushed, after.submits);  // ops + cancels + kick polls
+
+  ASSERT_EQ(0, net_unregister(sp[0]));
+  ASSERT_EQ(0, net_unregister(sp[1]));
+  close(sp[0]);
+  close(sp[1]);
+}
+
+TEST(NetBackendUring, DeadlineExpiresWithEtimeViaAsyncCancel) {
+  if (!net_uring_supported()) {
+    GTEST_SKIP() << "kernel lacks io_uring";
+  }
+  ASSERT_EQ(0, net_backend_select("uring"));
+  int sp[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+  ASSERT_EQ(0, net_register(sp[0]));
+  NetBackendStats before;
+  ASSERT_TRUE(net_backend_snapshot(&before));
+  char buf[8];
+  int64_t start = MonotonicNowNs();
+  ASSERT_EQ(-1, net_read_deadline(sp[0], buf, sizeof(buf), 20 * kMs));
+  EXPECT_EQ(ETIME, thread_errno());
+  EXPECT_GE(MonotonicNowNs() - start, 20 * kMs);
+  // A nonblocking try on a registered-but-empty socket reports EAGAIN without
+  // touching the ring.
+  ASSERT_EQ(-1, net_read_deadline(sp[0], buf, sizeof(buf), 0));
+  EXPECT_EQ(EAGAIN, thread_errno());
+  NetBackendStats after;
+  ASSERT_TRUE(net_backend_snapshot(&after));
+  EXPECT_GE(after.cancels, before.cancels + 1);  // the deadline's ASYNC_CANCEL
+  ASSERT_EQ(0, net_unregister(sp[0]));
+  close(sp[0]);
+  close(sp[1]);
+}
+
+TEST(NetBackendUring, UnregisterCancelsParkedWaiter) {
+  if (!net_uring_supported()) {
+    GTEST_SKIP() << "kernel lacks io_uring";
+  }
+  ASSERT_EQ(0, net_backend_select("uring"));
+  int sp[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+  ASSERT_EQ(0, net_register(sp[0]));
+  std::atomic<int> observed{0};
+  thread_id_t waiter = Spawn([&] {
+    char buf[8];
+    ASSERT_EQ(-1, net_read(sp[0], buf, sizeof(buf)));
+    observed.store(thread_errno());
+  });
+  int64_t deadline = MonotonicNowNs() + 2'000 * kMs;
+  while (net_parked_count() == 0 && MonotonicNowNs() < deadline) {
+    thread_yield();
+  }
+  ASSERT_GT(net_parked_count(), 0);
+  ASSERT_EQ(0, net_unregister(sp[0]));
+  Join(waiter);
+  EXPECT_EQ(ECANCELED, observed.load());
+  close(sp[0]);
+  close(sp[1]);
+}
+
+// Last: a stopped engine stays stopped for the process lifetime.
+TEST(NetBackendUring, StopSweepsInFlightOpsWithEcanceled) {
+  if (!net_uring_supported()) {
+    GTEST_SKIP() << "kernel lacks io_uring";
+  }
+  ASSERT_EQ(0, net_backend_select("uring"));
+  ASSERT_EQ(0, net_poller_start());
+  int sp[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, sp));
+  ASSERT_EQ(0, net_register(sp[0]));
+  std::atomic<int> observed{0};
+  thread_id_t waiter = Spawn([&] {
+    char buf[8];
+    ASSERT_EQ(-1, net_read(sp[0], buf, sizeof(buf)));
+    observed.store(thread_errno());
+  });
+  int64_t deadline = MonotonicNowNs() + 2'000 * kMs;
+  while (net_parked_count() == 0 && MonotonicNowNs() < deadline) {
+    thread_yield();
+  }
+  ASSERT_GT(net_parked_count(), 0);
+  ASSERT_EQ(0, net_poller_stop());
+  Join(waiter);
+  EXPECT_EQ(ECANCELED, observed.load());
+  // Stopped engine: new parking ops are refused with ECANCELED too.
+  char buf[8];
+  ASSERT_EQ(-1, net_read(sp[0], buf, sizeof(buf)));
+  EXPECT_EQ(ECANCELED, thread_errno());
+  close(sp[0]);
+  close(sp[1]);
+}
+
+}  // namespace
+}  // namespace sunmt
+
+int main(int argc, char** argv) {
+  sunmt::RuntimeConfig config;
+  config.initial_pool_lwps = 2;
+  sunmt::Runtime::Configure(config);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -35,6 +35,7 @@
 #include "src/stats/stats.h"
 #include "src/sync/sync.h"
 #include "src/timer/timer.h"
+#include "src/util/clock.h"
 #include "src/util/object_cache.h"
 #include "src/util/rng.h"
 #include "tests/test_util.h"
@@ -374,7 +375,8 @@ TEST(ObjectCache, InjectSweepTimedWaitChurn) {
 // One round of the hot-path churn the caches exist for: expiring and satisfied
 // sema waits, expiring cv waits, expiring net deadline reads, and short-lived
 // HTTP connections each carrying one request.
-void ChurnHotPaths(int iterations, int net_fd, uint16_t http_port) {
+void ChurnHotPaths(int iterations, int net_fd, const HttpServer& server) {
+  uint16_t http_port = server.port();
   for (int i = 0; i < iterations; ++i) {
     sema_t s;
     sema_init(&s, 0, 0, nullptr);
@@ -421,12 +423,16 @@ void ChurnHotPaths(int iterations, int net_fd, uint16_t http_port) {
     close(fd);
   }
   // The client seeing EOF does not mean the handler thread is gone: it still
-  // has to exit and hand its ConnArg + stack back to the caches. Give the
-  // stragglers a beat, or a round's last release lags into the next round's
-  // counter window and the convergence loop sees a phantom miss every pass.
-  for (int i = 0; i < 8; ++i) {
+  // has to exit and hand its ConnArg + stack back to the caches. ConnMain
+  // frees the ConnArg before serving and decrements active_conns_ last, so
+  // a drained connection count means every ConnArg is back in its cache —
+  // wait for that instead of a fixed beat, which TSan + injected delays can
+  // outlast (a lagging release turns into a phantom miss every round).
+  int64_t settle_deadline = MonotonicNowNs() + 5'000 * kMs;
+  while (server.active_connections() > 0 &&
+         MonotonicNowNs() < settle_deadline) {
     thread_yield();
-    usleep(5 * 1000);
+    usleep(1000);
   }
 }
 
@@ -449,14 +455,20 @@ TEST(ObjectCache, ZeroAllocSteadyStateChurn) {
   HttpServer server(std::move(config));
   ASSERT_EQ(server.Start(), 0);
 
-  ChurnHotPaths(32, sp[0], server.port());  // warm every cache
+  ChurnHotPaths(32, sp[0], server);  // warm every cache
 
   bool converged = false;
-  for (int round = 0; round < 3 && !converged; ++round) {
+  // Enough rounds for cross-LWP pooling to drain: when the acceptor LWP
+  // allocates and the handler LWPs free, freed blocks pool in the handlers'
+  // magazines (no depot flush until one holds kMagazineCapacity), so early
+  // rounds can each mint one block while the pipeline fills. Every miss grows
+  // the population, so convergence is monotone — it just needs more than the
+  // two or three rounds a worst-case thread placement leaves short.
+  for (int round = 0; round < 8 && !converged; ++round) {
     ObjectCacheStats before_caches[32];
     size_t before_n = ObjectCacheSnapshotAll(before_caches, 32);
     uint64_t before = ObjectCacheFallbackAllocs();
-    ChurnHotPaths(16, sp[0], server.port());
+    ChurnHotPaths(16, sp[0], server);
     if (::testing::Test::HasFailure()) {
       break;  // churn itself failed; the counter check would be noise
     }
